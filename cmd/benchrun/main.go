@@ -1,0 +1,112 @@
+// Command benchrun regenerates every table and figure of the staircase
+// join paper's evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|parallel|copyscan|mpmgjn]
+//	         [-sizes 0.5,1,2,4] [-parallel-size 4] [-workers 1,2,4,8] [-out file]
+//
+// Sizes are megabyte equivalents of the XMark-substitute generator; the
+// paper sweeps 1.1–1111 MB. Larger sizes reproduce the same shapes with
+// more headroom: try -sizes 1,4,16,64 on a machine with a few GB of RAM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"staircase/internal/bench"
+)
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad worker count %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	sizesFlag := flag.String("sizes", "0.5,1,2,4", "document sizes in MB equivalents")
+	parSize := flag.Float64("parallel-size", 4, "document size for the parallel experiment")
+	workersFlag := flag.String("workers", "1,2,4,8", "worker counts for the parallel experiment")
+	out := flag.String("out", "", "also write output to this file")
+	flag.Parse()
+
+	sizes, err := parseFloats(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(2)
+	}
+	workers, err := parseInts(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	c := bench.NewCorpus()
+	runs := map[string]func() bench.Table{
+		"table1":   func() bench.Table { return bench.Table1(c, sizes) },
+		"fig3":     func() bench.Table { return bench.Fig3(c, sizes) },
+		"fig11a":   func() bench.Table { return bench.Fig11a(c, sizes) },
+		"fig11b":   func() bench.Table { return bench.Fig11b(c, sizes) },
+		"fig11c":   func() bench.Table { return bench.Fig11c(c, sizes) },
+		"fig11d":   func() bench.Table { return bench.Fig11d(c, sizes) },
+		"fig11e":   func() bench.Table { return bench.Fig11e(c, sizes) },
+		"fig11f":   func() bench.Table { return bench.Fig11f(c, sizes) },
+		"window":   func() bench.Table { return bench.Window(c, sizes) },
+		"frag":     func() bench.Table { return bench.Fragmentation(c, sizes) },
+		"parallel": func() bench.Table { return bench.Parallel(c, *parSize, workers) },
+		"copyscan": func() bench.Table { return bench.CopyVsScan(c, sizes) },
+		"mpmgjn":   func() bench.Table { return bench.MPMGJN(c, sizes) },
+		"storage":  func() bench.Table { return bench.Storage(c, sizes) },
+	}
+	order := []string{"table1", "fig3", "fig11a", "fig11b", "fig11c", "fig11d",
+		"fig11e", "fig11f", "window", "frag", "parallel", "copyscan", "mpmgjn", "storage"}
+
+	if *exp == "all" {
+		for _, id := range order {
+			fmt.Fprintln(w, runs[id]().Format())
+		}
+		return
+	}
+	run, ok := runs[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchrun: unknown experiment %q (known: %s, all)\n",
+			*exp, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	fmt.Fprintln(w, run().Format())
+}

@@ -1,0 +1,64 @@
+// Command xmlgen generates XMark-style auction documents, standing in
+// for the XMLgen generator the paper's evaluation uses ("For a fixed
+// DTD, this generator produces instances of controllable size").
+//
+// Usage:
+//
+//	xmlgen -size 10 -seed 42 -o auctions.xml
+//	xmlgen -size 1 | head
+//	xmlgen -size 10 -stats        # don't write XML, print structure stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"staircase/internal/xmark"
+)
+
+func main() {
+	size := flag.Float64("size", 1.0, "approximate document size in MB")
+	seed := flag.Int64("seed", 42, "generator seed (same seed = same document)")
+	out := flag.String("o", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print structural statistics instead of XML")
+	flag.Parse()
+
+	cfg := xmark.Config{SizeMB: *size, Seed: *seed, KeepValues: true}
+
+	if *stats {
+		d, err := xmark.Generate(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmlgen:", err)
+			os.Exit(1)
+		}
+		st := d.ComputeStats()
+		fmt.Printf("nodes:      %d (elements %d, attributes %d, text %d)\n",
+			st.Nodes, st.Elements, st.Attributes, st.Texts)
+		fmt.Printf("height:     %d, avg depth %.1f, max fanout %d\n",
+			st.Height, st.AvgLevel, st.MaxFanout)
+		fmt.Printf("tags:       %d distinct\n", st.DistinctTags)
+		fmt.Printf("encoded:    %d bytes (%.1f bytes/node)\n",
+			d.EncodedBytes(), float64(d.EncodedBytes())/float64(st.Nodes))
+		fmt.Println("top tags:")
+		for _, tc := range st.TopTags(8) {
+			fmt.Printf("  %8d  %s\n", tc.Count, tc.Tag)
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmlgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := xmark.Write(w, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+}

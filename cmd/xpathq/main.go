@@ -1,0 +1,133 @@
+// Command xpathq loads an XML document into the XPath accelerator
+// encoding and evaluates XPath queries against it with a selectable
+// axis-step strategy — a tiny interactive face for the library.
+//
+// Usage:
+//
+//	xpathq -f doc.xml '//person[profile/education]/name'
+//	xpathq -f doc.xml -strategy sql -stats '/descendant::increase/ancestor::bidder'
+//	xmlgen -size 1 | xpathq '/descendant::profile/descendant::education'
+//
+// Output: one line per result node with pre rank, kind, name and (for
+// small results) the serialized node.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"staircase/internal/doc"
+	"staircase/internal/engine"
+)
+
+// strategies maps flag values to engine strategies.
+var strategies = map[string]engine.Strategy{
+	"staircase":        engine.Staircase,
+	"staircase-skip":   engine.StaircaseSkip,
+	"staircase-noskip": engine.StaircaseNoSkip,
+	"naive":            engine.Naive,
+	"sql":              engine.SQL,
+	"sql-window":       engine.SQLWindow,
+}
+
+var pushdowns = map[string]engine.Pushdown{
+	"auto":   engine.PushAuto,
+	"always": engine.PushAlways,
+	"never":  engine.PushNever,
+}
+
+func main() {
+	file := flag.String("f", "", "XML file (default: stdin)")
+	strategy := flag.String("strategy", "staircase", "axis-step strategy: staircase, staircase-skip, staircase-noskip, naive, sql, sql-window")
+	pushdown := flag.String("pushdown", "auto", "name-test pushdown: auto, always, never")
+	stats := flag.Bool("stats", false, "print per-step statistics")
+	explain := flag.Bool("explain", false, "print the physical plan instead of results")
+	limit := flag.Int("limit", 20, "max result nodes to print (0 = all)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xpathq [-f doc.xml] [flags] 'xpath-query'")
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	strat, ok := strategies[*strategy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xpathq: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	push, ok := pushdowns[*pushdown]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xpathq: unknown pushdown mode %q\n", *pushdown)
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpathq:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	d, err := doc.Shred(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpathq:", err)
+		os.Exit(1)
+	}
+
+	e := engine.New(d)
+	if *explain {
+		out, err := e.Explain(query, &engine.Options{Strategy: strat, Pushdown: push})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpathq:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	res, err := e.EvalString(query, &engine.Options{Strategy: strat, Pushdown: push})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpathq:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%d node(s)\n", len(res.Nodes))
+	shown := len(res.Nodes)
+	if *limit > 0 && shown > *limit {
+		shown = *limit
+	}
+	for _, v := range res.Nodes[:shown] {
+		line := fmt.Sprintf("pre=%-8d %-22s %s", v, d.KindOf(v), d.Name(v))
+		if d.KindOf(v) != doc.Elem || d.SubtreeSize(v) < 16 {
+			if x := d.XML(v); len(x) < 120 {
+				line += "  " + x
+			}
+		}
+		fmt.Println(line)
+	}
+	if shown < len(res.Nodes) {
+		fmt.Printf("... %d more\n", len(res.Nodes)-shown)
+	}
+
+	if *stats {
+		fmt.Println("\nper-step statistics:")
+		for i, s := range res.Steps {
+			fmt.Printf("  step %d: %-40s %6d -> %-6d  %8.3fms  pushed=%v\n",
+				i+1, s.Step, s.InputSize, s.OutputSize,
+				float64(s.Duration.Microseconds())/1000, s.Pushed)
+			if s.Core.Scanned > 0 {
+				fmt.Printf("          staircase: pruned %d->%d, scanned %d (copied %d, compared %d), skipped %d\n",
+					s.Core.ContextSize, s.Core.PrunedSize, s.Core.Scanned,
+					s.Core.Copied, s.Core.Compared, s.Core.Skipped)
+			}
+			if s.Naive.Produced > 0 {
+				fmt.Printf("          naive: produced %d, duplicates %d\n",
+					s.Naive.Produced, s.Naive.Duplicates)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Booksearch: multi-document databases. The paper (footnote 1) handles
+// several documents by "introduction of ... a new virtual root node
+// under which several documents may be gathered" — one plane, one
+// index, one staircase join serve the whole collection.
+//
+//	go run ./examples/booksearch
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strings"
+
+	"staircase/internal/doc"
+	"staircase/internal/engine"
+	"staircase/internal/xpath"
+)
+
+var catalogues = []string{
+	`<catalog shop="north">
+	   <book><title>A Relational Model of Data</title><author>Codd</author><price>35</price></book>
+	   <book><title>Accelerating XPath Location Steps</title><author>Grust</author><price>25</price></book>
+	 </catalog>`,
+	`<catalog shop="east">
+	   <book><title>Monet Kernel Design</title><author>Boncz</author><price>40</price></book>
+	 </catalog>`,
+	`<inventory warehouse="w1">
+	   <book><title>XMark Benchmark</title><author>Schmidt</author><price>25</price></book>
+	   <magazine><title>VLDB 2003 Proceedings</title></magazine>
+	 </inventory>`,
+}
+
+func main() {
+	// Gather all documents under a virtual root.
+	readers := make([]io.Reader, len(catalogues))
+	for i, c := range catalogues {
+		readers[i] = strings.NewReader(c)
+	}
+	d, err := doc.ShredCollection(readers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collection: %d documents, %d nodes total\n\n",
+		len(catalogues), d.Size())
+
+	e := engine.New(d)
+
+	// Queries span the whole collection transparently.
+	titles, err := e.EvalString("//book/title", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all book titles across the collection:")
+	for _, v := range titles.Nodes {
+		fmt.Printf("  - %s\n", d.StringValue(v))
+	}
+
+	cheap, err := e.EvalString("//book[price = '25']/title", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbooks priced 25:")
+	for _, v := range cheap.Nodes {
+		fmt.Printf("  - %s\n", d.StringValue(v))
+	}
+
+	// Which document does a hit come from? Walk ancestors up to the
+	// collection roots (children of the virtual root).
+	fmt.Println("\nprovenance of every Grust book:")
+	hits, err := e.EvalString("//book[author = 'Grust']", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range hits.Nodes {
+		anc, err := e.Eval(xpath.MustParse("ancestor::*"), []int32{v}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		top := anc.Nodes[0] // smallest pre = the document root element
+		attrs := d.Attributes(top)
+		where := d.Name(top)
+		if len(attrs) > 0 {
+			where += " " + d.Name(attrs[0]) + "=" + d.Value(attrs[0])
+		}
+		fmt.Printf("  %q found in <%s>\n",
+			d.StringValue(mustChild(e, v, "title")), where)
+	}
+}
+
+// mustChild returns the first child of v with the given tag.
+func mustChild(e *engine.Engine, v int32, tag string) int32 {
+	r, err := e.Eval(xpath.MustParse(tag), []int32{v}, nil)
+	if err != nil || len(r.Nodes) == 0 {
+		log.Fatalf("no %s child", tag)
+	}
+	return r.Nodes[0]
+}

@@ -1,0 +1,85 @@
+// Fragments: the paper's Future Research extensions (§6) — tag-name
+// fragmentation ("Q1 could be brought down from 345 ms to 39 ms") and
+// partition-parallel staircase joins over the pre/post plane (§3.2).
+//
+//	go run ./examples/fragments [-size 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"staircase/internal/axis"
+	"staircase/internal/core"
+	"staircase/internal/engine"
+	"staircase/internal/frag"
+	"staircase/internal/xmark"
+)
+
+func main() {
+	size := flag.Float64("size", 4, "document size in MB")
+	flag.Parse()
+
+	d, err := xmark.Generate(xmark.Config{SizeMB: *size, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document: %d nodes\n\n", d.Size())
+
+	// --- fragmentation by tag name -----------------------------------
+	store := frag.NewStore(d)
+	fmt.Printf("fragmented into %d tag fragments (profile: %d nodes, education: %d nodes)\n",
+		store.Fragments(), len(store.Fragment("profile")), len(store.Fragment("education")))
+
+	e := engine.New(d)
+	const q1 = "/descendant::profile/descendant::education"
+
+	start := time.Now()
+	full, err := e.EvalString(q1, &engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushNever})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tFull := time.Since(start)
+
+	steps := []frag.PathStep{
+		{Axis: axis.Descendant, Tag: "profile"},
+		{Axis: axis.Descendant, Tag: "education"},
+	}
+	start = time.Now()
+	fragged, err := store.Path(steps, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tFrag := time.Since(start)
+
+	if len(full.Nodes) != len(fragged) {
+		log.Fatalf("results disagree: %d vs %d", len(full.Nodes), len(fragged))
+	}
+	fmt.Printf("Q1 full plane:  %8.3fms\n", msf(tFull))
+	fmt.Printf("Q1 fragments:   %8.3fms   (%.1fx faster, %d results either way)\n\n",
+		msf(tFrag), float64(tFull)/float64(tFrag), len(fragged))
+
+	// --- partition-parallel execution --------------------------------
+	inc, err := e.EvalString("/descendant::increase", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel ancestor step over %d context nodes (up to %d CPUs):\n",
+		len(inc.Nodes), runtime.NumCPU())
+	var base time.Duration
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		start := time.Now()
+		res := frag.ParallelAncestorJoin(d, inc.Nodes, workers, &core.Options{Variant: core.SkipEstimate})
+		dur := time.Since(start)
+		if base == 0 {
+			base = dur
+		}
+		fmt.Printf("  %2d worker(s): %8.3fms  (%.2fx, %d ancestors)\n",
+			workers, msf(dur), float64(base)/float64(dur), len(res))
+	}
+}
+
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

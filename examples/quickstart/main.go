@@ -1,0 +1,61 @@
+// Quickstart: shred an XML document into the pre/post plane, evaluate
+// XPath queries with the staircase join, and inspect the result nodes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"staircase/internal/doc"
+	"staircase/internal/engine"
+)
+
+const library = `
+<library>
+  <shelf floor="1">
+    <book year="1994"><title>TCP/IP Illustrated</title><author>Stevens</author></book>
+    <book year="2000"><title>Problem Solving</title><author>Aho</author><author>Ullman</author></book>
+  </shelf>
+  <shelf floor="2">
+    <book year="2003"><title>Staircase Join</title><author>Grust</author><author>van Keulen</author><author>Teubner</author></book>
+  </shelf>
+</library>`
+
+func main() {
+	// 1. Shred: one pass assigns every node its <pre, post> rank.
+	d, err := doc.ShredString(library)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document: %d nodes, height %d\n\n", d.Size(), d.Height())
+
+	// 2. Query with the default engine (staircase join with
+	//    estimation-based skipping, automatic name-test pushdown).
+	e := engine.New(d)
+	for _, q := range []string{
+		"//book/title",
+		"//book[author = 'Grust']/title",
+		"/descendant::author/ancestor::shelf",
+		"//book[2]/author[last()]",
+		"//shelf[@floor = '2']//author",
+	} {
+		res, err := e.EvalString(q, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s ->", q)
+		for _, v := range res.Nodes {
+			fmt.Printf(" %q", d.StringValue(v))
+		}
+		fmt.Println()
+	}
+
+	// 3. Look under the hood: the pre/post encoding of a node.
+	res, _ := e.EvalString("//book[1]", nil)
+	v := res.Nodes[0]
+	fmt.Printf("\nfirst book: pre=%d post=%d level=%d |subtree|=%d (Equation 1)\n",
+		v, d.Post(v), d.Level(v), d.SubtreeSize(v))
+	fmt.Println(d.XML(v))
+}

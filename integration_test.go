@@ -1,0 +1,224 @@
+// End-to-end integration tests: generator -> shredder/binary store ->
+// engine strategies -> extensions, exercised together the way the
+// paper's evaluation pipeline uses them.
+package staircase_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"staircase/internal/axis"
+	"staircase/internal/bench"
+	"staircase/internal/core"
+	"staircase/internal/doc"
+	"staircase/internal/engine"
+	"staircase/internal/frag"
+	"staircase/internal/xmark"
+)
+
+// integrationQueries is the differential battery: every strategy and
+// pushdown mode must agree on every query.
+var integrationQueries = []string{
+	bench.Q1,
+	bench.Q2,
+	"/descendant::bidder[descendant::increase]",
+	"/site/open_auctions/open_auction/bidder/increase",
+	"//open_auction[bidder and reserve]/@id",
+	"//person[profile/education or not(profile)]",
+	"//increase/ancestor-or-self::*",
+	"//education | //increase | //nosuch",
+	"//open_auction/bidder[1]/increase",
+	"//person[profile]/name/text()",
+	"//parlist//listitem//text",
+	"//date/preceding-sibling::node()",
+}
+
+func TestIntegrationAllStrategiesAgree(t *testing.T) {
+	d, err := xmark.Generate(xmark.Config{SizeMB: 0.3, Seed: 77, KeepValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(d)
+	strategies := []engine.Strategy{
+		engine.Staircase, engine.StaircaseSkip, engine.StaircaseNoSkip,
+		engine.Naive, engine.SQL, engine.SQLWindow,
+	}
+	for _, q := range integrationQueries {
+		var want []int32
+		for _, s := range strategies {
+			for _, p := range []engine.Pushdown{engine.PushAuto, engine.PushAlways, engine.PushNever} {
+				res, err := e.EvalString(q, &engine.Options{Strategy: s, Pushdown: p})
+				if err != nil {
+					t.Fatalf("%s [%v/%v]: %v", q, s, p, err)
+				}
+				if want == nil {
+					want = res.Nodes
+					continue
+				}
+				if len(res.Nodes) != len(want) {
+					t.Fatalf("%s [%v/%v]: %d nodes, want %d", q, s, p, len(res.Nodes), len(want))
+				}
+				for i := range want {
+					if res.Nodes[i] != want[i] {
+						t.Fatalf("%s [%v/%v]: node %d differs", q, s, p, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntegrationBinaryStoreServesQueries(t *testing.T) {
+	cfg := xmark.Config{SizeMB: 0.2, Seed: 5, KeepValues: true}
+	d1, err := xmark.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d1.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := doc.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := engine.New(d1), engine.New(d2)
+	for _, q := range integrationQueries {
+		r1, err := e1.EvalString(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := e2.EvalString(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Nodes) != len(r2.Nodes) {
+			t.Fatalf("%s: binary store changed the result (%d vs %d)", q, len(r1.Nodes), len(r2.Nodes))
+		}
+	}
+}
+
+func TestIntegrationXMLRoundTripServesQueries(t *testing.T) {
+	cfg := xmark.Config{SizeMB: 0.1, Seed: 6, KeepValues: true}
+	var buf bytes.Buffer
+	if err := xmark.Write(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	shredded, err := doc.Shred(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := xmark.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := engine.New(direct), engine.New(shredded)
+	for _, q := range integrationQueries {
+		r1, _ := e1.EvalString(q, nil)
+		r2, _ := e2.EvalString(q, nil)
+		if len(r1.Nodes) != len(r2.Nodes) {
+			t.Fatalf("%s: XML round trip changed the result", q)
+		}
+	}
+}
+
+func TestIntegrationConcurrentQueries(t *testing.T) {
+	d, err := xmark.Generate(xmark.Config{SizeMB: 0.2, Seed: 8, KeepValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(d) // one shared engine: exercises tag-list caching
+	ref := map[string]int{}
+	for _, q := range integrationQueries {
+		r, err := e.EvalString(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[q] = len(r.Nodes)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, q := range integrationQueries {
+				opts := &engine.Options{
+					Strategy: []engine.Strategy{engine.Staircase, engine.SQL}[(w+i)%2],
+				}
+				r, err := e.EvalString(q, opts)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", q, err)
+					return
+				}
+				if len(r.Nodes) != ref[q] {
+					errs <- fmt.Errorf("%s: concurrent run got %d nodes, want %d", q, len(r.Nodes), ref[q])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestIntegrationFragmentsAndParallelAgreeWithEngine(t *testing.T) {
+	d, err := xmark.Generate(xmark.Config{SizeMB: 0.3, Seed: 12, KeepValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(d)
+	store := frag.NewStore(d)
+
+	want, err := e.EvalString(bench.Q2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Path([]frag.PathStep{
+		{Axis: axis.Descendant, Tag: "increase"},
+		{Axis: axis.Ancestor, Tag: "bidder"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Nodes) {
+		t.Fatalf("fragment path: %d vs %d", len(got), len(want.Nodes))
+	}
+
+	inc, err := e.EvalString("/descendant::increase", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := core.AncestorJoin(d, inc.Nodes, nil)
+	for _, workers := range []int{1, 3, 7} {
+		par := frag.ParallelAncestorJoin(d, inc.Nodes, workers, nil)
+		if len(par) != len(seq) {
+			t.Fatalf("parallel(%d): %d vs %d", workers, len(par), len(seq))
+		}
+	}
+}
+
+func TestIntegrationExplainMatchesExecution(t *testing.T) {
+	d, err := xmark.Generate(xmark.Config{SizeMB: 0.1, Seed: 4, KeepValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(d)
+	out, err := e.Explain(bench.Q2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.EvalString(bench.Q2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCard := fmt.Sprintf("-> %d result", len(res.Nodes))
+	if !bytes.Contains([]byte(out), []byte(wantCard)) {
+		t.Fatalf("explain cardinality does not match execution:\n%s", out)
+	}
+}

@@ -1,0 +1,250 @@
+// Package axis defines the XPath axes as regions of the pre/post plane.
+//
+// For a context node c, the four partitioning axes carve the plane into
+// four rectangular regions (Figure 1/2 of the staircase join paper):
+//
+//	ancestor   : pre(v) < pre(c) ∧ post(v) > post(c)   (upper left)
+//	preceding  : pre(v) < pre(c) ∧ post(v) < post(c)   (lower left)
+//	descendant : pre(v) > pre(c) ∧ post(v) < post(c)   (lower right)
+//	following  : pre(v) > pre(c) ∧ post(v) > post(c)   (upper right)
+//
+// All remaining axes are super-/subsets of these regions or are answered
+// via the parent column. The package also provides the Equation (1)
+// windows used to delimit index range scans (§2.1) and the
+// empty-region lemmas of Figure 7 that skipping builds on (§3.3).
+package axis
+
+import (
+	"fmt"
+	"strings"
+
+	"staircase/internal/doc"
+)
+
+// Axis enumerates the 13 XPath axes.
+type Axis uint8
+
+const (
+	// Child selects the element/text/comment/PI children of c.
+	Child Axis = iota
+	// Descendant selects all nodes in the subtree below c.
+	Descendant
+	// DescendantOrSelf is Descendant plus c itself.
+	DescendantOrSelf
+	// Parent selects the parent of c.
+	Parent
+	// Ancestor selects all nodes on the path from c's parent to the root.
+	Ancestor
+	// AncestorOrSelf is Ancestor plus c itself.
+	AncestorOrSelf
+	// Following selects nodes that begin after c ends.
+	Following
+	// Preceding selects nodes that end before c begins.
+	Preceding
+	// FollowingSibling selects later children of c's parent.
+	FollowingSibling
+	// PrecedingSibling selects earlier children of c's parent.
+	PrecedingSibling
+	// Self selects c itself.
+	Self
+	// Attribute selects the attribute nodes of c.
+	Attribute
+	// Namespace is accepted for completeness; the store does not model
+	// namespace nodes, so the axis is always empty.
+	Namespace
+)
+
+// axisNames maps Axis values to their XPath spellings.
+var axisNames = [...]string{
+	Child:            "child",
+	Descendant:       "descendant",
+	DescendantOrSelf: "descendant-or-self",
+	Parent:           "parent",
+	Ancestor:         "ancestor",
+	AncestorOrSelf:   "ancestor-or-self",
+	Following:        "following",
+	Preceding:        "preceding",
+	FollowingSibling: "following-sibling",
+	PrecedingSibling: "preceding-sibling",
+	Self:             "self",
+	Attribute:        "attribute",
+	Namespace:        "namespace",
+}
+
+// String returns the XPath spelling of the axis.
+func (a Axis) String() string {
+	if int(a) < len(axisNames) {
+		return axisNames[a]
+	}
+	return fmt.Sprintf("Axis(%d)", uint8(a))
+}
+
+// Parse resolves an XPath axis name (e.g. "descendant-or-self").
+func Parse(name string) (Axis, error) {
+	for a, n := range axisNames {
+		if n == name {
+			return Axis(a), nil
+		}
+	}
+	return 0, fmt.Errorf("axis: unknown axis %q", name)
+}
+
+// All lists every supported axis (useful for exhaustive tests).
+func All() []Axis {
+	out := make([]Axis, len(axisNames))
+	for i := range out {
+		out[i] = Axis(i)
+	}
+	return out
+}
+
+// Reverse reports whether the axis is a reverse axis (delivers nodes
+// before the context node in document order). XPath semantics still
+// require results in document order, which the evaluation layer ensures.
+func (a Axis) Reverse() bool {
+	switch a {
+	case Parent, Ancestor, AncestorOrSelf, Preceding, PrecedingSibling:
+		return true
+	}
+	return false
+}
+
+// Partitioning reports whether the axis is one of the four plane
+// partitioning axes handled by the staircase join.
+func (a Axis) Partitioning() bool {
+	switch a {
+	case Descendant, Ancestor, Following, Preceding:
+		return true
+	}
+	return false
+}
+
+// In reports whether node v lies on axis a of context node c, fully
+// honouring kind filtering (attribute nodes appear only on the
+// attribute axis; the attribute axis yields only attributes of c).
+// This is the specification predicate: O(1) per pair but O(n·|context|)
+// when used for evaluation — exactly the tree-unaware behaviour the
+// staircase join avoids. Baselines and property tests rely on it.
+func In(d *doc.Document, a Axis, c, v int32) bool {
+	isAttr := d.KindOf(v) == doc.Attr
+	if a == Attribute {
+		return isAttr && d.Parent(v) == c
+	}
+	if isAttr {
+		return false
+	}
+	switch a {
+	case Self:
+		return v == c
+	case Child:
+		return d.Parent(v) == c
+	case Parent:
+		return d.Parent(c) == v
+	case Descendant:
+		return d.IsDescendant(c, v)
+	case DescendantOrSelf:
+		return v == c || d.IsDescendant(c, v)
+	case Ancestor:
+		return d.IsAncestor(c, v)
+	case AncestorOrSelf:
+		return v == c || d.IsAncestor(c, v)
+	case Following:
+		return v > c && d.Post(v) > d.Post(c)
+	case Preceding:
+		return v < c && d.Post(v) < d.Post(c)
+	case FollowingSibling:
+		return v > c && d.Parent(v) == d.Parent(c) && d.Parent(c) != doc.NoParent
+	case PrecedingSibling:
+		return v < c && d.Parent(v) == d.Parent(c) && d.Parent(c) != doc.NoParent
+	case Namespace:
+		return false
+	default:
+		panic(fmt.Sprintf("axis: In: unhandled axis %v", a))
+	}
+}
+
+// Window is a closed pre-rank interval [PreLo, PreHi] together with a
+// closed post-rank interval [PostLo, PostHi]; a node is inside iff both
+// rank constraints hold. Windows delimit index range scans (§2.1).
+type Window struct {
+	PreLo, PreHi   int32
+	PostLo, PostHi int32
+}
+
+// Contains reports whether (pre, post) lies in the window.
+func (w Window) Contains(pre, post int32) bool {
+	return pre >= w.PreLo && pre <= w.PreHi && post >= w.PostLo && post <= w.PostHi
+}
+
+// Empty reports whether the window can contain no node.
+func (w Window) Empty() bool { return w.PreLo > w.PreHi || w.PostLo > w.PostHi }
+
+// String renders the window for diagnostics.
+func (w Window) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pre∈[%d,%d] post∈[%d,%d]", w.PreLo, w.PreHi, w.PostLo, w.PostHi)
+	return sb.String()
+}
+
+// RegionWindow returns the plane window of the partitioning axis a with
+// respect to context node c, without Equation (1) tightening: the
+// "tree-unaware" rectangle of Figure 2.
+func RegionWindow(d *doc.Document, a Axis, c int32) Window {
+	n := int32(d.Size())
+	post := d.Post(c)
+	switch a {
+	case Descendant:
+		return Window{PreLo: c + 1, PreHi: n - 1, PostLo: 0, PostHi: post - 1}
+	case Ancestor:
+		return Window{PreLo: 0, PreHi: c - 1, PostLo: post + 1, PostHi: n - 1}
+	case Following:
+		return Window{PreLo: c + 1, PreHi: n - 1, PostLo: post + 1, PostHi: n - 1}
+	case Preceding:
+		return Window{PreLo: 0, PreHi: c - 1, PostLo: 0, PostHi: post - 1}
+	default:
+		panic(fmt.Sprintf("axis: RegionWindow: %v is not a partitioning axis", a))
+	}
+}
+
+// TightWindow returns the Equation (1)-delimited window for axis a and
+// context c: the additional range predicate of §2.1 (query line 7),
+//
+//	pre(v) ≤ post(c) + h   and   post(v) ≥ pre(c) − h
+//
+// for the descendant axis, which makes the scan range proportional to
+// the context subtree instead of the document (the paper reports up to
+// three orders of magnitude from this delimiter alone). Both bounds
+// follow from Equation (1) with 0 ≤ level ≤ h. The other axes admit no
+// comparable window tightening and return the plain region window.
+func TightWindow(d *doc.Document, a Axis, c int32) Window {
+	w := RegionWindow(d, a, c)
+	if a == Descendant {
+		h := d.Height()
+		if hi := d.Post(c) + h; hi < w.PreHi {
+			w.PreHi = hi
+		}
+		if lo := c - h; lo > w.PostLo {
+			w.PostLo = lo
+		}
+	}
+	return w
+}
+
+// ExactDescendantWindow uses the exact subtree size (Equation (1) with
+// the true level) to delimit the descendant pre range: descendants of c
+// occupy exactly pre ∈ [c+1, c+|subtree|].
+func ExactDescendantWindow(d *doc.Document, c int32) Window {
+	w := RegionWindow(d, Descendant, c)
+	w.PreHi = c + d.SubtreeSize(c)
+	return w
+}
+
+// KindOK reports whether a node of the given kind may appear in the
+// result of axis a (the paper's attribute filtering rule: except for
+// the attribute axis itself, no axis produces attribute nodes).
+func KindOK(a Axis, k doc.Kind) bool {
+	if a == Attribute {
+		return k == doc.Attr
+	}
+	return k != doc.Attr
+}

@@ -1,0 +1,311 @@
+package axis
+
+import (
+	"math/rand"
+	"testing"
+
+	"staircase/internal/doc"
+)
+
+// figure1 shreds the running example of the paper (Figures 1 and 2).
+func figure1(t testing.TB) *doc.Document {
+	t.Helper()
+	d, err := doc.ShredString(`<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// nodesOn collects pre ranks on axis a of context c via the In predicate.
+func nodesOn(d *doc.Document, a Axis, c int32) []int32 {
+	var out []int32
+	for v := int32(0); int(v) < d.Size(); v++ {
+		if In(d, a, c, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func names(d *doc.Document, pres []int32) []string {
+	out := make([]string, len(pres))
+	for i, p := range pres {
+		out[i] = d.Name(p)
+	}
+	return out
+}
+
+func eqStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFigure1Regions(t *testing.T) {
+	d := figure1(t)
+	f := int32(5) // context node f, as in Figure 1
+	cases := []struct {
+		a    Axis
+		want []string
+	}{
+		{Preceding, []string{"b", "c", "d"}},
+		{Descendant, []string{"g", "h"}},
+		{Ancestor, []string{"a", "e"}},
+		{Following, []string{"i", "j"}},
+	}
+	for _, tc := range cases {
+		got := names(d, nodesOn(d, tc.a, f))
+		if !eqStrs(got, tc.want) {
+			t.Errorf("f/%s = %v, want %v", tc.a, got, tc.want)
+		}
+	}
+	// g/ancestor = (a, e, f) — the paper's second example.
+	if got := names(d, nodesOn(d, Ancestor, 6)); !eqStrs(got, []string{"a", "e", "f"}) {
+		t.Errorf("g/ancestor = %v, want [a e f]", got)
+	}
+}
+
+func TestNonPartitioningAxes(t *testing.T) {
+	d := figure1(t)
+	e := int32(4)
+	if got := names(d, nodesOn(d, Child, e)); !eqStrs(got, []string{"f", "i"}) {
+		t.Errorf("e/child = %v", got)
+	}
+	if got := names(d, nodesOn(d, Parent, e)); !eqStrs(got, []string{"a"}) {
+		t.Errorf("e/parent = %v", got)
+	}
+	if got := names(d, nodesOn(d, Self, e)); !eqStrs(got, []string{"e"}) {
+		t.Errorf("e/self = %v", got)
+	}
+	if got := names(d, nodesOn(d, AncestorOrSelf, e)); !eqStrs(got, []string{"a", "e"}) {
+		t.Errorf("e/ancestor-or-self = %v", got)
+	}
+	if got := names(d, nodesOn(d, DescendantOrSelf, e)); !eqStrs(got, []string{"e", "f", "g", "h", "i", "j"}) {
+		t.Errorf("e/descendant-or-self = %v", got)
+	}
+	if got := names(d, nodesOn(d, FollowingSibling, int32(1))); !eqStrs(got, []string{"d", "e"}) {
+		t.Errorf("b/following-sibling = %v", got)
+	}
+	if got := names(d, nodesOn(d, PrecedingSibling, int32(4))); !eqStrs(got, []string{"b", "d"}) {
+		t.Errorf("e/preceding-sibling = %v", got)
+	}
+	if got := nodesOn(d, FollowingSibling, 0); len(got) != 0 {
+		t.Errorf("root/following-sibling = %v, want empty", got)
+	}
+	if got := nodesOn(d, Namespace, e); len(got) != 0 {
+		t.Errorf("namespace axis yielded %v", got)
+	}
+}
+
+func TestAttributeAxisAndFiltering(t *testing.T) {
+	d, err := doc.ShredString(`<r id="1"><c a="x" b="y"><s/></c></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cPre int32 = -1
+	for v := int32(0); int(v) < d.Size(); v++ {
+		if d.Name(v) == "c" && d.KindOf(v) == doc.Elem {
+			cPre = v
+		}
+	}
+	attrs := nodesOn(d, Attribute, cPre)
+	if len(attrs) != 2 || d.Name(attrs[0]) != "a" || d.Name(attrs[1]) != "b" {
+		t.Fatalf("c/attribute = %v", names(d, attrs))
+	}
+	// No other axis may deliver attribute nodes.
+	for _, a := range All() {
+		if a == Attribute {
+			continue
+		}
+		for v := int32(0); int(v) < d.Size(); v++ {
+			for _, res := range nodesOn(d, a, v) {
+				if d.KindOf(res) == doc.Attr {
+					t.Fatalf("axis %v produced attribute node %d", a, res)
+				}
+			}
+		}
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	for _, a := range All() {
+		got, err := Parse(a.String())
+		if err != nil || got != a {
+			t.Errorf("Parse(%q) = (%v, %v)", a.String(), got, err)
+		}
+	}
+	if _, err := Parse("sideways"); err == nil {
+		t.Error("Parse accepted bogus axis")
+	}
+}
+
+func TestReverseAndPartitioningFlags(t *testing.T) {
+	rev := map[Axis]bool{Parent: true, Ancestor: true, AncestorOrSelf: true, Preceding: true, PrecedingSibling: true}
+	for _, a := range All() {
+		if a.Reverse() != rev[a] {
+			t.Errorf("%v.Reverse() = %v", a, a.Reverse())
+		}
+	}
+	part := map[Axis]bool{Descendant: true, Ancestor: true, Following: true, Preceding: true}
+	for _, a := range All() {
+		if a.Partitioning() != part[a] {
+			t.Errorf("%v.Partitioning() = %v", a, a.Partitioning())
+		}
+	}
+}
+
+func TestRegionWindowMatchesIn(t *testing.T) {
+	d := figure1(t)
+	for _, a := range []Axis{Descendant, Ancestor, Following, Preceding} {
+		for c := int32(0); int(c) < d.Size(); c++ {
+			w := RegionWindow(d, a, c)
+			for v := int32(0); int(v) < d.Size(); v++ {
+				inWin := w.Contains(v, d.Post(v))
+				if inWin != In(d, a, c, v) {
+					t.Fatalf("axis %v c=%d v=%d: window %v says %v, In says %v",
+						a, c, v, w, inWin, In(d, a, c, v))
+				}
+			}
+		}
+	}
+}
+
+func TestTightWindowSoundAndTighter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randomDoc(rng, 300)
+	for _, a := range []Axis{Descendant, Ancestor, Following, Preceding} {
+		for trial := 0; trial < 40; trial++ {
+			c := int32(rng.Intn(d.Size()))
+			tw := TightWindow(d, a, c)
+			rw := RegionWindow(d, a, c)
+			if tw.PreLo < rw.PreLo || tw.PreHi > rw.PreHi || tw.PostLo < rw.PostLo || tw.PostHi > rw.PostHi {
+				t.Fatalf("tight window %v exceeds region window %v", tw, rw)
+			}
+			for v := int32(0); int(v) < d.Size(); v++ {
+				if In(d, a, c, v) && !tw.Contains(v, d.Post(v)) {
+					t.Fatalf("axis %v c=%d: tight window %v excludes result node %d", a, c, tw, v)
+				}
+			}
+		}
+	}
+}
+
+func TestExactDescendantWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randomDoc(rng, 300)
+	for trial := 0; trial < 50; trial++ {
+		c := int32(rng.Intn(d.Size()))
+		w := ExactDescendantWindow(d, c)
+		// Exactly the nodes with pre in (c, c+size] are descendants.
+		for v := int32(0); int(v) < d.Size(); v++ {
+			inWin := v >= w.PreLo && v <= w.PreHi
+			if inWin != d.IsDescendant(c, v) {
+				t.Fatalf("c=%d v=%d: exact window pre range wrong (%v)", c, v, w)
+			}
+		}
+	}
+}
+
+func TestWindowEmptyAndString(t *testing.T) {
+	w := Window{PreLo: 5, PreHi: 4, PostLo: 0, PostHi: 10}
+	if !w.Empty() {
+		t.Error("inverted window should be empty")
+	}
+	if w.String() == "" {
+		t.Error("String should render")
+	}
+	ok := Window{PreLo: 0, PreHi: 4, PostLo: 0, PostHi: 10}
+	if ok.Empty() {
+		t.Error("proper window reported empty")
+	}
+}
+
+func TestKindOK(t *testing.T) {
+	if KindOK(Descendant, doc.Attr) {
+		t.Error("descendant must filter attributes")
+	}
+	if !KindOK(Descendant, doc.Text) {
+		t.Error("descendant must keep text")
+	}
+	if !KindOK(Attribute, doc.Attr) {
+		t.Error("attribute axis must keep attributes")
+	}
+	if KindOK(Attribute, doc.Elem) {
+		t.Error("attribute axis must reject elements")
+	}
+}
+
+// TestFigure7EmptyRegions verifies the empty-region lemmas skipping is
+// built on: for a, b on the ancestor/descendant axis, regions S and U
+// are empty; for a, b on preceding/following, region Z is empty.
+func TestFigure7EmptyRegions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDoc(rng, 150)
+		n := int32(d.Size())
+		for i := 0; i < 200; i++ {
+			a := int32(rng.Intn(int(n)))
+			b := int32(rng.Intn(int(n)))
+			if a >= b {
+				continue
+			}
+			if d.IsDescendant(a, b) {
+				// S: pre > b, post > post(b), pre < ... region S = following(a) ∩ ancestor(b):
+				for v := int32(0); v < n; v++ {
+					if In(d, Following, a, v) && In(d, Ancestor, b, v) {
+						t.Fatalf("region S not empty: a=%d b=%d v=%d", a, b, v)
+					}
+					if In(d, Preceding, a, v) && In(d, Ancestor, b, v) {
+						t.Fatalf("region U not empty: a=%d b=%d v=%d", a, b, v)
+					}
+				}
+			} else if d.Post(b) > d.Post(a) {
+				// a precedes b: common descendants (region Z) impossible.
+				for v := int32(0); v < n; v++ {
+					if In(d, Descendant, a, v) && In(d, Descendant, b, v) {
+						t.Fatalf("region Z not empty: a=%d b=%d v=%d", a, b, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// randomDoc builds a random document for property tests.
+func randomDoc(rng *rand.Rand, n int) *doc.Document {
+	b := doc.NewBuilder()
+	b.OpenElem("root")
+	depth := 1
+	tags := []string{"p", "q", "r"}
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			b.OpenElem(tags[rng.Intn(len(tags))])
+			if rng.Intn(4) == 0 {
+				b.Attr("k", "v")
+			}
+			depth++
+		case r < 7 && depth > 1:
+			b.CloseElem()
+			depth--
+		default:
+			b.Text("t")
+		}
+	}
+	for depth > 0 {
+		b.CloseElem()
+		depth--
+	}
+	d, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

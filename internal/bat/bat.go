@@ -1,0 +1,190 @@
+package bat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BAT is a Monet-style binary association table: a sequence of
+// (head, tail) pairs stored column-wise. Head and tail always have equal
+// length.
+//
+// The conventional reading is head = object identifier (oid), tail =
+// attribute value; a full n-ary relational table is represented by a
+// group of BATs sharing their (usually void) head column. The document
+// encoding table doc of the staircase join paper is exactly such a group:
+//
+//	doc = [pre|post] [pre|level] [pre|kind] [pre|tag] ...
+//
+// with pre stored as a void column (§4.1 of the paper).
+type BAT struct {
+	head Column
+	tail Column
+}
+
+// New returns a BAT over the given head and tail columns. It panics if
+// the column lengths differ.
+func New(head, tail Column) BAT {
+	if head.Len() != tail.Len() {
+		panic(fmt.Sprintf("bat: head/tail length mismatch: %d vs %d", head.Len(), tail.Len()))
+	}
+	return BAT{head: head, tail: tail}
+}
+
+// NewDense returns a BAT with a void head starting at 0 over tail values
+// vals — the normalised form produced by most kernel operators.
+func NewDense(vals []int32) BAT {
+	return New(NewVoid(0, len(vals)), NewInt(vals))
+}
+
+// NewDenseStr returns a BAT with a void head starting at 0 over string
+// tail values.
+func NewDenseStr(vals []string) BAT {
+	return New(NewVoid(0, len(vals)), NewStr(vals))
+}
+
+// Head returns the head column.
+func (b BAT) Head() Column { return b.head }
+
+// Tail returns the tail column.
+func (b BAT) Tail() Column { return b.tail }
+
+// Len returns the number of (head, tail) pairs.
+func (b BAT) Len() int { return b.head.Len() }
+
+// Reverse swaps head and tail. This is a zero-cost view change, as in
+// Monet.
+func (b BAT) Reverse() BAT { return BAT{head: b.tail, tail: b.head} }
+
+// Mirror returns the BAT [head|head]: both columns alias the original
+// head. Used to turn an oid set into a join-ready BAT.
+func (b BAT) Mirror() BAT { return BAT{head: b.head, tail: b.head} }
+
+// Mark replaces the head by a fresh void column starting at off,
+// producing the Monet "mark" of the tail: [off..|tail].
+func (b BAT) Mark(off int32) BAT {
+	return BAT{head: NewVoid(off, b.Len()), tail: b.tail}
+}
+
+// Slice returns the BAT restricted to pair positions [lo, hi).
+func (b BAT) Slice(lo, hi int) BAT {
+	return BAT{head: b.head.Slice(lo, hi), tail: b.tail.Slice(lo, hi)}
+}
+
+// Append returns a new BAT with the pair (h, t) appended. Head and tail
+// must be numeric. Appending to a void head that the new value extends
+// densely keeps the head void; otherwise the head is materialised.
+// Append is O(n) when a copy is required; builders that append in bulk
+// should use Builder instead.
+func (b BAT) Append(h, t int32) BAT {
+	var nh Column
+	if b.head.IsVoid() && (b.head.Len() == 0 || b.head.off+int32(b.head.n) == h) {
+		if b.head.Len() == 0 {
+			nh = NewVoid(h, 1)
+		} else {
+			nh = NewVoid(b.head.off, b.head.n+1)
+		}
+	} else {
+		hs := append(append([]int32(nil), b.head.Ints()...), h)
+		nh = NewInt(hs)
+	}
+	ts := append(append([]int32(nil), b.tail.Ints()...), t)
+	return BAT{head: nh, tail: NewInt(ts)}
+}
+
+// String renders the BAT in a compact debugging form, eliding long
+// tables.
+func (b BAT) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "BAT[%s|%s]#%d{", b.head.Type(), b.tail.Type(), b.Len())
+	n := b.Len()
+	show := n
+	if show > 16 {
+		show = 16
+	}
+	for i := 0; i < show; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if b.head.Type() == Str {
+			fmt.Fprintf(&sb, "%q->", b.head.Str(i))
+		} else {
+			fmt.Fprintf(&sb, "%d->", b.head.Int(i))
+		}
+		if b.tail.Type() == Str {
+			fmt.Fprintf(&sb, "%q", b.tail.Str(i))
+		} else {
+			fmt.Fprintf(&sb, "%d", b.tail.Int(i))
+		}
+	}
+	if show < n {
+		sb.WriteString(", ...")
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Builder accumulates (head, tail) pairs and produces a BAT. It keeps the
+// head void as long as appended head values remain dense.
+type Builder struct {
+	heads     []int32
+	tails     []int32
+	headVoid  bool
+	headOff   int32
+	headCount int
+}
+
+// NewBuilder returns an empty builder with capacity hint n.
+func NewBuilder(n int) *Builder {
+	return &Builder{tails: make([]int32, 0, n), headVoid: true}
+}
+
+// Append adds the pair (h, t).
+func (bu *Builder) Append(h, t int32) {
+	if bu.headVoid {
+		if bu.headCount == 0 {
+			bu.headOff = h
+		} else if h != bu.headOff+int32(bu.headCount) {
+			// Density broken: materialise the head collected so far.
+			bu.headVoid = false
+			bu.heads = make([]int32, bu.headCount, cap(bu.tails))
+			for i := range bu.heads {
+				bu.heads[i] = bu.headOff + int32(i)
+			}
+		}
+	}
+	if !bu.headVoid {
+		bu.heads = append(bu.heads, h)
+	}
+	bu.headCount++
+	bu.tails = append(bu.tails, t)
+}
+
+// AppendDense adds the pair (next-dense-head, t) where the head value
+// continues the dense sequence (or starts it at 0).
+func (bu *Builder) AppendDense(t int32) {
+	if bu.headVoid {
+		bu.Append(bu.headOff+int32(bu.headCount), t)
+		return
+	}
+	var h int32
+	if len(bu.heads) > 0 {
+		h = bu.heads[len(bu.heads)-1] + 1
+	}
+	bu.Append(h, t)
+}
+
+// Len returns the number of pairs appended so far.
+func (bu *Builder) Len() int { return bu.headCount }
+
+// Build finalises the builder into a BAT. The builder must not be used
+// afterwards.
+func (bu *Builder) Build() BAT {
+	var head Column
+	if bu.headVoid {
+		head = NewVoid(bu.headOff, bu.headCount)
+	} else {
+		head = NewInt(bu.heads)
+	}
+	return BAT{head: head, tail: NewInt(bu.tails)}
+}

@@ -1,0 +1,443 @@
+package bat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVoidColumnBasics(t *testing.T) {
+	c := NewVoid(5, 4)
+	if got := c.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if !c.IsVoid() {
+		t.Fatal("expected void column")
+	}
+	if got := c.VoidOffset(); got != 5 {
+		t.Fatalf("VoidOffset = %d, want 5", got)
+	}
+	for i := 0; i < 4; i++ {
+		if got := c.Int(i); got != int32(5+i) {
+			t.Fatalf("Int(%d) = %d, want %d", i, got, 5+i)
+		}
+	}
+	if !c.IsSorted() || !c.IsStrictlySorted() {
+		t.Fatal("void column must be strictly sorted")
+	}
+}
+
+func TestVoidColumnPosOf(t *testing.T) {
+	c := NewVoid(10, 3)
+	for _, tc := range []struct {
+		v   int32
+		pos int
+		ok  bool
+	}{
+		{10, 0, true}, {11, 1, true}, {12, 2, true},
+		{9, 0, false}, {13, 0, false},
+	} {
+		pos, ok := c.PosOf(tc.v)
+		if ok != tc.ok || (ok && pos != tc.pos) {
+			t.Errorf("PosOf(%d) = (%d,%v), want (%d,%v)", tc.v, pos, ok, tc.pos, tc.ok)
+		}
+	}
+}
+
+func TestIntColumnPosOf(t *testing.T) {
+	c := NewInt([]int32{2, 4, 4, 7, 9})
+	pos, ok := c.PosOf(4)
+	if !ok || pos != 1 {
+		t.Fatalf("PosOf(4) = (%d,%v), want (1,true)", pos, ok)
+	}
+	if _, ok := c.PosOf(5); ok {
+		t.Fatal("PosOf(5) should miss")
+	}
+	if _, ok := c.PosOf(1); ok {
+		t.Fatal("PosOf(1) should miss")
+	}
+	if _, ok := c.PosOf(10); ok {
+		t.Fatal("PosOf(10) should miss")
+	}
+}
+
+func TestColumnMaterialize(t *testing.T) {
+	c := NewVoid(3, 3).Materialize()
+	if c.IsVoid() {
+		t.Fatal("Materialize left column void")
+	}
+	want := []int32{3, 4, 5}
+	for i, w := range want {
+		if c.Int(i) != w {
+			t.Fatalf("materialised value %d = %d, want %d", i, c.Int(i), w)
+		}
+	}
+}
+
+func TestColumnSliceVoidStaysVoid(t *testing.T) {
+	c := NewVoid(0, 10).Slice(4, 8)
+	if !c.IsVoid() {
+		t.Fatal("slice of void should be void")
+	}
+	if c.VoidOffset() != 4 || c.Len() != 4 {
+		t.Fatalf("slice = (off=%d,len=%d), want (4,4)", c.VoidOffset(), c.Len())
+	}
+}
+
+func TestBATReverseMirrorMark(t *testing.T) {
+	b := New(NewVoid(0, 3), NewInt([]int32{9, 8, 7}))
+	r := b.Reverse()
+	if r.Head().Int(0) != 9 || r.Tail().Int(0) != 0 {
+		t.Fatal("Reverse did not swap columns")
+	}
+	m := b.Mirror()
+	if m.Tail().Int(2) != 2 {
+		t.Fatal("Mirror tail should alias head")
+	}
+	k := b.Reverse().Mark(100)
+	if !k.Head().IsVoid() || k.Head().VoidOffset() != 100 {
+		t.Fatal("Mark should install fresh void head")
+	}
+	if k.Tail().Int(1) != 1 {
+		t.Fatal("Mark must keep tail")
+	}
+}
+
+func TestBuilderKeepsDenseHeadVoid(t *testing.T) {
+	bu := NewBuilder(4)
+	for i := int32(7); i < 11; i++ {
+		bu.Append(i, i*10)
+	}
+	b := bu.Build()
+	if !b.Head().IsVoid() {
+		t.Fatal("dense heads should stay void")
+	}
+	if b.Head().VoidOffset() != 7 || b.Len() != 4 {
+		t.Fatalf("head = (off=%d,len=%d), want (7,4)", b.Head().VoidOffset(), b.Len())
+	}
+}
+
+func TestBuilderMaterialisesOnGap(t *testing.T) {
+	bu := NewBuilder(4)
+	bu.Append(0, 1)
+	bu.Append(1, 2)
+	bu.Append(5, 3) // gap
+	b := bu.Build()
+	if b.Head().IsVoid() {
+		t.Fatal("gapped head must be materialised")
+	}
+	want := []int32{0, 1, 5}
+	for i, w := range want {
+		if b.Head().Int(i) != w {
+			t.Fatalf("head[%d] = %d, want %d", i, b.Head().Int(i), w)
+		}
+	}
+}
+
+func TestAppendExtendsVoidHead(t *testing.T) {
+	b := NewDense([]int32{10, 20})
+	b = b.Append(2, 30)
+	if !b.Head().IsVoid() || b.Len() != 3 {
+		t.Fatal("dense append should keep head void")
+	}
+	b = b.Append(9, 40)
+	if b.Head().IsVoid() {
+		t.Fatal("gap append must materialise head")
+	}
+	if b.Head().Int(3) != 9 || b.Tail().Int(3) != 40 {
+		t.Fatal("append lost the pair")
+	}
+}
+
+func TestSelectSortedUsesRange(t *testing.T) {
+	b := New(NewVoid(0, 6), NewInt([]int32{1, 3, 5, 7, 9, 11}))
+	sel := b.Select(4, 9)
+	if sel.Len() != 3 {
+		t.Fatalf("Select returned %d pairs, want 3", sel.Len())
+	}
+	if sel.Head().Int(0) != 2 || sel.Tail().Int(2) != 9 {
+		t.Fatal("Select returned wrong range")
+	}
+	if empty := b.Select(100, 200); empty.Len() != 0 {
+		t.Fatal("out-of-range Select should be empty")
+	}
+	if empty := b.Select(9, 4); empty.Len() != 0 {
+		t.Fatal("inverted Select bounds should be empty")
+	}
+}
+
+func TestSelectUnsorted(t *testing.T) {
+	b := New(NewVoid(0, 5), NewInt([]int32{9, 1, 5, 3, 7}))
+	sel := b.Select(3, 7)
+	if sel.Len() != 3 {
+		t.Fatalf("Select returned %d pairs, want 3", sel.Len())
+	}
+	// Order preserved: tails 5, 3, 7 at heads 2, 3, 4.
+	wantH := []int32{2, 3, 4}
+	wantT := []int32{5, 3, 7}
+	for i := range wantH {
+		if sel.Head().Int(i) != wantH[i] || sel.Tail().Int(i) != wantT[i] {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d)",
+				i, sel.Head().Int(i), sel.Tail().Int(i), wantH[i], wantT[i])
+		}
+	}
+}
+
+func TestUselect(t *testing.T) {
+	b := New(NewVoid(10, 4), NewInt([]int32{5, 6, 7, 8}))
+	u := b.Uselect(6, 7)
+	if u.Len() != 2 || u.Tail().Int(0) != 11 || u.Tail().Int(1) != 12 {
+		t.Fatalf("Uselect = %v", u)
+	}
+}
+
+func TestFetchJoinPositional(t *testing.T) {
+	// left: [void|ref] with refs into right's void head.
+	left := New(NewVoid(0, 3), NewInt([]int32{12, 10, 11}))
+	right := New(NewVoid(10, 3), NewInt([]int32{100, 101, 102}))
+	j := left.Join(right)
+	if j.Len() != 3 {
+		t.Fatalf("join size %d, want 3", j.Len())
+	}
+	want := []int32{102, 100, 101}
+	for i, w := range want {
+		if j.Tail().Int(i) != w {
+			t.Fatalf("join tail[%d] = %d, want %d", i, j.Tail().Int(i), w)
+		}
+	}
+}
+
+func TestFetchJoinDropsDanglingRefs(t *testing.T) {
+	left := New(NewVoid(0, 3), NewInt([]int32{10, 99, 11}))
+	right := New(NewVoid(10, 2), NewInt([]int32{7, 8}))
+	j := left.Join(right)
+	if j.Len() != 2 {
+		t.Fatalf("join size %d, want 2 (dangling ref dropped)", j.Len())
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	left := New(NewInt([]int32{1, 2, 3}), NewInt([]int32{20, 10, 20}))
+	right := New(NewInt([]int32{10, 20}), NewInt([]int32{100, 200}))
+	j := left.Join(right)
+	if j.Len() != 3 {
+		t.Fatalf("join size %d, want 3", j.Len())
+	}
+	wantH := []int32{1, 2, 3}
+	wantT := []int32{200, 100, 200}
+	for i := range wantH {
+		if j.Head().Int(i) != wantH[i] || j.Tail().Int(i) != wantT[i] {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d)",
+				i, j.Head().Int(i), j.Tail().Int(i), wantH[i], wantT[i])
+		}
+	}
+}
+
+func TestJoinStrTail(t *testing.T) {
+	left := New(NewVoid(0, 2), NewInt([]int32{1, 0}))
+	right := New(NewVoid(0, 2), NewStr([]string{"a", "b"}))
+	j := left.Join(right)
+	if j.Tail().Str(0) != "b" || j.Tail().Str(1) != "a" {
+		t.Fatalf("str fetch join wrong: %v", j)
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	b := New(NewInt([]int32{1, 2, 3, 4}), NewInt([]int32{10, 20, 30, 40}))
+	o := New(NewInt([]int32{2, 4, 9}), NewInt([]int32{0, 0, 0}))
+	s := b.SemiJoin(o)
+	if s.Len() != 2 || s.Head().Int(0) != 2 || s.Head().Int(1) != 4 {
+		t.Fatalf("SemiJoin = %v", s)
+	}
+}
+
+func TestSemiJoinVoidRight(t *testing.T) {
+	b := New(NewInt([]int32{1, 5, 9}), NewInt([]int32{10, 50, 90}))
+	o := New(NewVoid(4, 3), NewInt([]int32{0, 0, 0})) // heads 4,5,6
+	s := b.SemiJoin(o)
+	if s.Len() != 1 || s.Head().Int(0) != 5 || s.Tail().Int(0) != 50 {
+		t.Fatalf("SemiJoin = %v", s)
+	}
+}
+
+func TestSortTailStable(t *testing.T) {
+	b := New(NewInt([]int32{1, 2, 3, 4}), NewInt([]int32{5, 3, 5, 1}))
+	s := b.SortTail()
+	wantH := []int32{4, 2, 1, 3}
+	wantT := []int32{1, 3, 5, 5}
+	for i := range wantH {
+		if s.Head().Int(i) != wantH[i] || s.Tail().Int(i) != wantT[i] {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d)",
+				i, s.Head().Int(i), s.Tail().Int(i), wantH[i], wantT[i])
+		}
+	}
+}
+
+func TestUniqueTailSortedAndUnsorted(t *testing.T) {
+	sorted := New(NewInt([]int32{1, 2, 3, 4}), NewInt([]int32{1, 1, 2, 2}))
+	u := sorted.UniqueTail()
+	if u.Len() != 2 || u.Head().Int(0) != 1 || u.Head().Int(1) != 3 {
+		t.Fatalf("sorted UniqueTail = %v", u)
+	}
+	unsorted := New(NewInt([]int32{1, 2, 3}), NewInt([]int32{7, 5, 7}))
+	u2 := unsorted.UniqueTail()
+	if u2.Len() != 2 || u2.Tail().Int(0) != 7 || u2.Tail().Int(1) != 5 {
+		t.Fatalf("unsorted UniqueTail = %v", u2)
+	}
+}
+
+func TestKUnionKDiff(t *testing.T) {
+	a := New(NewInt([]int32{1, 2}), NewInt([]int32{10, 20}))
+	b := New(NewInt([]int32{2, 3}), NewInt([]int32{99, 30}))
+	u := a.KUnion(b)
+	if u.Len() != 3 || u.Tail().Int(1) != 20 || u.Head().Int(2) != 3 {
+		t.Fatalf("KUnion = %v", u)
+	}
+	d := a.KDiff(b)
+	if d.Len() != 1 || d.Head().Int(0) != 1 {
+		t.Fatalf("KDiff = %v", d)
+	}
+}
+
+func TestSelectEqStr(t *testing.T) {
+	b := New(NewVoid(0, 4), NewStr([]string{"x", "y", "x", "z"}))
+	s := b.SelectEqStr("x")
+	if s.Len() != 2 || s.Head().Int(0) != 0 || s.Head().Int(1) != 2 {
+		t.Fatalf("SelectEqStr = %v", s)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// propTails bounds generated tail values so range predicates hit often.
+func propTails(vals []int16) []int32 {
+	out := make([]int32, len(vals))
+	for i, v := range vals {
+		out[i] = int32(v % 100)
+	}
+	return out
+}
+
+func TestPropSelectMatchesNaiveFilter(t *testing.T) {
+	f := func(vals []int16, loRaw, hiRaw int16) bool {
+		tails := propTails(vals)
+		lo, hi := int32(loRaw%100), int32(hiRaw%100)
+		b := NewDense(tails)
+		sel := b.Select(lo, hi)
+		var want []int32
+		for i, v := range tails {
+			if v >= lo && v <= hi {
+				want = append(want, int32(i))
+			}
+		}
+		if sel.Len() != len(want) {
+			return false
+		}
+		for i, w := range want {
+			if sel.Head().Int(i) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSortTailSortsAndPreservesMultiset(t *testing.T) {
+	f := func(vals []int16) bool {
+		tails := propTails(vals)
+		b := NewDense(tails)
+		s := b.SortTail()
+		if s.Len() != len(tails) || !s.Tail().IsSorted() {
+			return false
+		}
+		count := map[int32]int{}
+		for _, v := range tails {
+			count[v]++
+		}
+		for i := 0; i < s.Len(); i++ {
+			count[s.Tail().Int(i)]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUniqueAfterSortIsStrict(t *testing.T) {
+	f := func(vals []int16) bool {
+		b := NewDense(propTails(vals)).SortTail().UniqueTail()
+		return b.Tail().IsStrictlySorted()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropReverseIsInvolution(t *testing.T) {
+	f := func(vals []int16) bool {
+		b := NewDense(propTails(vals))
+		r := b.Reverse().Reverse()
+		if r.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < b.Len(); i++ {
+			if r.Head().Int(i) != b.Head().Int(i) || r.Tail().Int(i) != b.Tail().Int(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropFetchJoinMatchesHashJoin(t *testing.T) {
+	f := func(refsRaw []int16, tails []int16) bool {
+		if len(tails) == 0 {
+			return true
+		}
+		n := len(tails)
+		refs := make([]int32, len(refsRaw))
+		for i, r := range refsRaw {
+			refs[i] = int32(int(r%int16(n)+int16(n)) % n) // in-range refs
+		}
+		rtails := propTails(tails)
+		left := NewDense(refs)
+		rightVoid := New(NewVoid(0, n), NewInt(rtails))
+		rightMat := New(NewVoid(0, n).Materialize(), NewInt(rtails))
+		a := left.Join(rightVoid)
+		b := left.Join(rightMat)
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.Head().Int(i) != b.Head().Int(i) || a.Tail().Int(i) != b.Tail().Int(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := NewDense([]int32{1})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	bad := BAT{head: NewVoid(0, 2), tail: NewInt([]int32{1})}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,276 @@
+// Package bat implements a small main-memory column-store kernel in the
+// style of the Monet RDBMS (Boncz, 2002), the implementation platform of
+// the staircase join paper (Grust, van Keulen, Teubner; VLDB 2003).
+//
+// The central data structure is the BAT (binary association table), a
+// two-column table [head | tail]. Columns are typed; besides plain integer
+// and string columns the kernel supports Monet's special column type
+//
+//	void: "virtual oid" — a contiguous sequence o, o+1, o+2, ...
+//
+// for which only the offset o is stored. Void columns cost no storage and
+// turn many lookups into positional (O(1)) array accesses; the paper's
+// document encoding stores the preorder rank as a void column (§4.1).
+//
+// The operator set (select, join, semijoin, sort, unique, mirror, mark,
+// reverse, slice, ...) is the subset of the Monet Interpreter Language
+// needed by the XPath accelerator and by the staircase join experiments.
+package bat
+
+import "fmt"
+
+// ColType enumerates the physical column representations supported by the
+// kernel.
+type ColType uint8
+
+const (
+	// Void is Monet's virtual-oid type: a dense integer sequence
+	// off, off+1, ..., off+n-1 represented only by its offset.
+	Void ColType = iota
+	// Int is a materialised 32-bit integer column.
+	Int
+	// Str is a materialised string column (used for tag-name
+	// dictionaries; bulk data uses interned integer ids).
+	Str
+)
+
+// String returns the Monet-style name of the column type.
+func (t ColType) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case Int:
+		return "int"
+	case Str:
+		return "str"
+	default:
+		return fmt.Sprintf("ColType(%d)", uint8(t))
+	}
+}
+
+// Column is a single typed column of a BAT. The zero value is an empty
+// void column with offset 0.
+//
+// Columns are immutable once they participate in a BAT that has been
+// handed out; operators always allocate fresh result columns. (Builders
+// may append to a column they own exclusively.)
+type Column struct {
+	typ  ColType
+	off  int32 // void: first value of the dense sequence
+	n    int   // void: sequence length
+	ints []int32
+	strs []string
+}
+
+// NewVoid returns a dense void column off, off+1, ..., off+n-1.
+func NewVoid(off int32, n int) Column {
+	if n < 0 {
+		panic("bat: negative void column length")
+	}
+	return Column{typ: Void, off: off, n: n}
+}
+
+// NewInt returns an integer column backed by vals. The column takes
+// ownership of the slice; callers must not modify it afterwards.
+func NewInt(vals []int32) Column {
+	return Column{typ: Int, ints: vals}
+}
+
+// NewStr returns a string column backed by vals. The column takes
+// ownership of the slice.
+func NewStr(vals []string) Column {
+	return Column{typ: Str, strs: vals}
+}
+
+// Type returns the physical type of the column.
+func (c Column) Type() ColType { return c.typ }
+
+// Len returns the number of values in the column.
+func (c Column) Len() int {
+	switch c.typ {
+	case Void:
+		return c.n
+	case Int:
+		return len(c.ints)
+	default:
+		return len(c.strs)
+	}
+}
+
+// IsVoid reports whether the column is a virtual-oid (void) column.
+func (c Column) IsVoid() bool { return c.typ == Void }
+
+// VoidOffset returns the offset o of a void column (the value at
+// position 0). It panics for materialised columns.
+func (c Column) VoidOffset() int32 {
+	if c.typ != Void {
+		panic("bat: VoidOffset on non-void column")
+	}
+	return c.off
+}
+
+// Int returns the integer value at position i. Void columns yield
+// off+i. It panics for string columns and out-of-range positions.
+func (c Column) Int(i int) int32 {
+	switch c.typ {
+	case Void:
+		if i < 0 || i >= c.n {
+			panic(fmt.Sprintf("bat: void index %d out of range [0,%d)", i, c.n))
+		}
+		return c.off + int32(i)
+	case Int:
+		return c.ints[i]
+	default:
+		panic("bat: Int on str column")
+	}
+}
+
+// Str returns the string value at position i of a string column.
+func (c Column) Str(i int) string {
+	if c.typ != Str {
+		panic("bat: Str on non-str column")
+	}
+	return c.strs[i]
+}
+
+// Ints returns the backing slice of a materialised integer column.
+// Void columns are materialised first (allocating). The caller must not
+// modify the returned slice of an Int column.
+func (c Column) Ints() []int32 {
+	switch c.typ {
+	case Void:
+		out := make([]int32, c.n)
+		for i := range out {
+			out[i] = c.off + int32(i)
+		}
+		return out
+	case Int:
+		return c.ints
+	default:
+		panic("bat: Ints on str column")
+	}
+}
+
+// Strs returns the backing slice of a string column. The caller must not
+// modify it.
+func (c Column) Strs() []string {
+	if c.typ != Str {
+		panic("bat: Strs on non-str column")
+	}
+	return c.strs
+}
+
+// Materialize converts a void column into an equivalent Int column;
+// materialised columns are returned unchanged.
+func (c Column) Materialize() Column {
+	if c.typ != Void {
+		return c
+	}
+	return NewInt(c.Ints())
+}
+
+// PosOf returns the position of value v in the column under the
+// assumption that the column is sorted ascending (void columns always
+// are). The second result reports whether v is present. Lookup is O(1)
+// for void columns and O(log n) otherwise.
+func (c Column) PosOf(v int32) (int, bool) {
+	switch c.typ {
+	case Void:
+		p := int(v - c.off)
+		if p < 0 || p >= c.n {
+			return 0, false
+		}
+		return p, true
+	case Int:
+		lo, hi := 0, len(c.ints)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if c.ints[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(c.ints) && c.ints[lo] == v {
+			return lo, true
+		}
+		return 0, false
+	default:
+		panic("bat: PosOf on str column")
+	}
+}
+
+// IsSorted reports whether the column is non-decreasing. Void columns are
+// sorted by construction.
+func (c Column) IsSorted() bool {
+	switch c.typ {
+	case Void:
+		return true
+	case Int:
+		for i := 1; i < len(c.ints); i++ {
+			if c.ints[i-1] > c.ints[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		for i := 1; i < len(c.strs); i++ {
+			if c.strs[i-1] > c.strs[i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// IsStrictlySorted reports whether the column is strictly increasing
+// (sorted and duplicate-free). Void columns are strictly sorted by
+// construction.
+func (c Column) IsStrictlySorted() bool {
+	switch c.typ {
+	case Void:
+		return true
+	case Int:
+		for i := 1; i < len(c.ints); i++ {
+			if c.ints[i-1] >= c.ints[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		for i := 1; i < len(c.strs); i++ {
+			if c.strs[i-1] >= c.strs[i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Slice returns the sub-column [lo, hi). Void columns stay void; slicing
+// a materialised column shares the backing store.
+func (c Column) Slice(lo, hi int) Column {
+	if lo < 0 || hi < lo || hi > c.Len() {
+		panic(fmt.Sprintf("bat: column slice [%d,%d) out of range [0,%d)", lo, hi, c.Len()))
+	}
+	switch c.typ {
+	case Void:
+		return NewVoid(c.off+int32(lo), hi-lo)
+	case Int:
+		return Column{typ: Int, ints: c.ints[lo:hi]}
+	default:
+		return Column{typ: Str, strs: c.strs[lo:hi]}
+	}
+}
+
+// eq reports whether the values at positions i (in c) and j (in d) are
+// equal. Both columns must carry comparable types (void/int vs str).
+func (c Column) eq(i int, d Column, j int) bool {
+	if c.typ == Str || d.typ == Str {
+		if c.typ != Str || d.typ != Str {
+			panic("bat: comparing str column with numeric column")
+		}
+		return c.strs[i] == d.strs[j]
+	}
+	return c.Int(i) == d.Int(j)
+}

@@ -1,0 +1,143 @@
+package bat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewDenseStrAndStrs(t *testing.T) {
+	b := NewDenseStr([]string{"x", "y"})
+	if b.Len() != 2 || b.Tail().Str(1) != "y" {
+		t.Fatalf("NewDenseStr = %v", b)
+	}
+	strs := b.Tail().Strs()
+	if len(strs) != 2 || strs[0] != "x" {
+		t.Fatalf("Strs = %v", strs)
+	}
+	if b.Count() != b.Len() {
+		t.Fatal("Count != Len")
+	}
+}
+
+func TestBATString(t *testing.T) {
+	b := New(NewVoid(0, 2), NewStr([]string{"a", "b"}))
+	s := b.String()
+	if !strings.Contains(s, "void") || !strings.Contains(s, `"a"`) {
+		t.Fatalf("String = %q", s)
+	}
+	// Long BATs elide.
+	long := NewDense(make([]int32, 100))
+	if !strings.Contains(long.String(), "...") {
+		t.Fatalf("long String should elide: %q", long.String())
+	}
+	// Str heads render too.
+	sh := New(NewStr([]string{"k"}), NewInt([]int32{1}))
+	if !strings.Contains(sh.String(), `"k"->1`) {
+		t.Fatalf("String = %q", sh.String())
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	if Void.String() != "void" || Int.String() != "int" || Str.String() != "str" {
+		t.Fatal("ColType names wrong")
+	}
+	if !strings.Contains(ColType(9).String(), "ColType") {
+		t.Fatal("unknown ColType should render numerically")
+	}
+}
+
+func TestBuilderAppendDense(t *testing.T) {
+	bu := NewBuilder(0)
+	bu.AppendDense(5)
+	bu.AppendDense(6)
+	if bu.Len() != 2 {
+		t.Fatalf("Len = %d", bu.Len())
+	}
+	b := bu.Build()
+	if !b.Head().IsVoid() || b.Head().VoidOffset() != 0 {
+		t.Fatalf("AppendDense head = %v", b.Head())
+	}
+	// AppendDense after a gap continues from the last materialised head.
+	bu2 := NewBuilder(0)
+	bu2.Append(0, 1)
+	bu2.Append(7, 2)
+	bu2.AppendDense(3)
+	b2 := bu2.Build()
+	if b2.Head().Int(2) != 8 {
+		t.Fatalf("AppendDense after gap = %d, want 8", b2.Head().Int(2))
+	}
+	// AppendDense on an empty materialised-path builder starts at 0.
+	bu3 := NewBuilder(0)
+	bu3.Append(3, 1) // void with offset 3
+	bu3.AppendDense(2)
+	if got := bu3.Build().Head().Int(1); got != 4 {
+		t.Fatalf("AppendDense continued at %d, want 4", got)
+	}
+}
+
+func TestStrEqPanicsOnMixedTypes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := NewStr([]string{"x"})
+	b := NewInt([]int32{1})
+	a.eq(0, b, 0)
+}
+
+func TestStrEq(t *testing.T) {
+	a := NewStr([]string{"x", "y"})
+	if !a.eq(0, a, 0) || a.eq(0, a, 1) {
+		t.Fatal("str eq broken")
+	}
+	n := NewInt([]int32{4})
+	v := NewVoid(4, 1)
+	if !n.eq(0, v, 0) {
+		t.Fatal("int/void eq broken")
+	}
+}
+
+func TestIsSortedStrColumns(t *testing.T) {
+	if !NewStr([]string{"a", "b"}).IsSorted() {
+		t.Fatal("sorted str reported unsorted")
+	}
+	if NewStr([]string{"b", "a"}).IsSorted() {
+		t.Fatal("unsorted str reported sorted")
+	}
+	if !NewStr([]string{"a", "b"}).IsStrictlySorted() {
+		t.Fatal("strict str broken")
+	}
+	if NewStr([]string{"a", "a"}).IsStrictlySorted() {
+		t.Fatal("duplicate str reported strict")
+	}
+	if NewInt([]int32{1, 1}).IsStrictlySorted() {
+		t.Fatal("duplicate int reported strict")
+	}
+}
+
+func TestColumnPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("VoidOffset on int", func() { NewInt(nil).VoidOffset() })
+	mustPanic("Int on str", func() { NewStr([]string{"a"}).Int(0) })
+	mustPanic("Str on int", func() { NewInt([]int32{1}).Str(0) })
+	mustPanic("Strs on int", func() { NewInt([]int32{1}).Strs() })
+	mustPanic("Ints on str", func() { NewStr([]string{"a"}).Ints() })
+	mustPanic("void index range", func() { NewVoid(0, 1).Int(5) })
+	mustPanic("negative void", func() { NewVoid(0, -1) })
+	mustPanic("slice range", func() { NewVoid(0, 2).Slice(0, 5) })
+	mustPanic("length mismatch", func() { New(NewVoid(0, 2), NewInt([]int32{1})) })
+	mustPanic("PosOf str", func() { NewStr([]string{"a"}).PosOf(0) })
+	mustPanic("Select str", func() { NewDenseStr([]string{"a"}).Select(0, 1) })
+	mustPanic("SelectEqStr int", func() { NewDense([]int32{1}).SelectEqStr("x") })
+	mustPanic("SortTail str", func() { NewDenseStr([]string{"a"}).SortTail() })
+	mustPanic("UniqueTail str", func() { NewDenseStr([]string{"a"}).UniqueTail() })
+}

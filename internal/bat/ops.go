@@ -1,0 +1,269 @@
+package bat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Unbounded marks an open end of a Select range.
+const (
+	// MinInt32 / MaxInt32 are convenient open range bounds for Select.
+	MinInt32 int32 = -1 << 31
+	MaxInt32 int32 = 1<<31 - 1
+)
+
+// Select returns the pairs whose tail value t satisfies lo <= t <= hi
+// (numeric tails only). Head and tail of qualifying pairs are preserved.
+// If the tail is sorted the qualifying range is located by binary search,
+// mirroring an index range scan; otherwise a full scan is used.
+func (b BAT) Select(lo, hi int32) BAT {
+	if b.tail.Type() == Str {
+		panic("bat: Select on str tail")
+	}
+	if b.tail.IsSorted() {
+		from := sort.Search(b.Len(), func(i int) bool { return b.tail.Int(i) >= lo })
+		to := sort.Search(b.Len(), func(i int) bool { return b.tail.Int(i) > hi })
+		if from > to {
+			from = to
+		}
+		return b.Slice(from, to)
+	}
+	bu := NewBuilder(0)
+	for i := 0; i < b.Len(); i++ {
+		t := b.tail.Int(i)
+		if t >= lo && t <= hi {
+			bu.Append(b.head.Int(i), t)
+		}
+	}
+	return bu.Build()
+}
+
+// SelectEqStr returns the pairs whose string tail equals v.
+func (b BAT) SelectEqStr(v string) BAT {
+	if b.tail.Type() != Str {
+		panic("bat: SelectEqStr on non-str tail")
+	}
+	heads := NewBuilder(0)
+	var strs []string
+	for i := 0; i < b.Len(); i++ {
+		if b.tail.Str(i) == v {
+			heads.Append(b.head.Int(i), 0)
+			strs = append(strs, v)
+		}
+	}
+	hb := heads.Build()
+	return BAT{head: hb.head, tail: NewStr(strs)}
+}
+
+// Uselect returns the head values of pairs whose tail t satisfies
+// lo <= t <= hi, as a dense [void|head] BAT (Monet's uselect returns the
+// qualifying oids only).
+func (b BAT) Uselect(lo, hi int32) BAT {
+	sel := b.Select(lo, hi)
+	return NewDense(sel.head.Ints())
+}
+
+// Join computes the equi-join of b and o on b.tail == o.head and returns
+// [b.head | o.tail]. When o has a void head, each b tail value is located
+// positionally (Monet's fetch join); otherwise a hash join is used.
+// Pair order follows the left operand, matching Monet's join semantics
+// for void-head right operands.
+func (b BAT) Join(o BAT) BAT {
+	if b.tail.Type() == Str || o.head.Type() == Str {
+		panic("bat: Join on str join columns")
+	}
+	if o.head.IsVoid() {
+		return b.fetchJoin(o)
+	}
+	// Hash join: build on the right head.
+	idx := make(map[int32][]int, o.Len())
+	for j := 0; j < o.Len(); j++ {
+		k := o.head.Int(j)
+		idx[k] = append(idx[k], j)
+	}
+	bu := NewBuilder(b.Len())
+	var strs []string
+	strTail := o.tail.Type() == Str
+	for i := 0; i < b.Len(); i++ {
+		for _, j := range idx[b.tail.Int(i)] {
+			if strTail {
+				bu.Append(b.head.Int(i), 0)
+				strs = append(strs, o.tail.Str(j))
+			} else {
+				bu.Append(b.head.Int(i), o.tail.Int(j))
+			}
+		}
+	}
+	res := bu.Build()
+	if strTail {
+		res.tail = NewStr(strs)
+	}
+	return res
+}
+
+// fetchJoin positionally dereferences b.tail into o (void head): the
+// positional lookup that void columns enable (§4.1 of the paper).
+func (b BAT) fetchJoin(o BAT) BAT {
+	off := o.head.VoidOffset()
+	n := o.Len()
+	bu := NewBuilder(b.Len())
+	var strs []string
+	strTail := o.tail.Type() == Str
+	for i := 0; i < b.Len(); i++ {
+		p := int(b.tail.Int(i) - off)
+		if p < 0 || p >= n {
+			continue
+		}
+		if strTail {
+			bu.Append(b.head.Int(i), 0)
+			strs = append(strs, o.tail.Str(p))
+		} else {
+			bu.Append(b.head.Int(i), o.tail.Int(p))
+		}
+	}
+	res := bu.Build()
+	if strTail {
+		res.tail = NewStr(strs)
+	}
+	return res
+}
+
+// SemiJoin returns the pairs of b whose head value appears as a head
+// value in o.
+func (b BAT) SemiJoin(o BAT) BAT {
+	if b.head.Type() == Str || o.head.Type() == Str {
+		panic("bat: SemiJoin on str heads")
+	}
+	if o.head.IsVoid() {
+		off := o.head.VoidOffset()
+		n := o.Len()
+		bu := NewBuilder(0)
+		for i := 0; i < b.Len(); i++ {
+			h := b.head.Int(i)
+			if p := int(h - off); p >= 0 && p < n {
+				bu.Append(h, b.tail.Int(i))
+			}
+		}
+		return bu.Build()
+	}
+	set := make(map[int32]struct{}, o.Len())
+	for j := 0; j < o.Len(); j++ {
+		set[o.head.Int(j)] = struct{}{}
+	}
+	bu := NewBuilder(0)
+	for i := 0; i < b.Len(); i++ {
+		if _, ok := set[b.head.Int(i)]; ok {
+			bu.Append(b.head.Int(i), b.tail.Int(i))
+		}
+	}
+	return bu.Build()
+}
+
+// SortTail returns the BAT reordered so that the tail column is
+// non-decreasing; the sort is stable so equal tails keep their head
+// order. Numeric tails only.
+func (b BAT) SortTail() BAT {
+	if b.tail.Type() == Str {
+		panic("bat: SortTail on str tail")
+	}
+	if b.tail.IsSorted() {
+		return b
+	}
+	n := b.Len()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		return b.tail.Int(perm[i]) < b.tail.Int(perm[j])
+	})
+	hs := make([]int32, n)
+	ts := make([]int32, n)
+	for i, p := range perm {
+		hs[i] = b.head.Int(p)
+		ts[i] = b.tail.Int(p)
+	}
+	return BAT{head: NewInt(hs), tail: NewInt(ts)}
+}
+
+// UniqueTail removes pairs with duplicate tail values, keeping the first
+// occurrence in pair order. On a sorted tail this is a single linear
+// pass (the plan-level "unique" operator of the paper's Figure 3 runs
+// over pre-sorted input); otherwise a hash set is used.
+func (b BAT) UniqueTail() BAT {
+	if b.tail.Type() == Str {
+		panic("bat: UniqueTail on str tail")
+	}
+	bu := NewBuilder(0)
+	if b.tail.IsSorted() {
+		for i := 0; i < b.Len(); i++ {
+			t := b.tail.Int(i)
+			if i > 0 && t == b.tail.Int(i-1) {
+				continue
+			}
+			bu.Append(b.head.Int(i), t)
+		}
+		return bu.Build()
+	}
+	seen := make(map[int32]struct{}, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		t := b.tail.Int(i)
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		bu.Append(b.head.Int(i), t)
+	}
+	return bu.Build()
+}
+
+// KUnion returns the pairs of b followed by the pairs of o whose head
+// value does not occur in b (key-based union on heads).
+func (b BAT) KUnion(o BAT) BAT {
+	seen := make(map[int32]struct{}, b.Len())
+	bu := NewBuilder(b.Len() + o.Len())
+	for i := 0; i < b.Len(); i++ {
+		h := b.head.Int(i)
+		seen[h] = struct{}{}
+		bu.Append(h, b.tail.Int(i))
+	}
+	for j := 0; j < o.Len(); j++ {
+		h := o.head.Int(j)
+		if _, ok := seen[h]; ok {
+			continue
+		}
+		bu.Append(h, o.tail.Int(j))
+	}
+	return bu.Build()
+}
+
+// KDiff returns the pairs of b whose head value does not occur as a head
+// value in o.
+func (b BAT) KDiff(o BAT) BAT {
+	drop := make(map[int32]struct{}, o.Len())
+	for j := 0; j < o.Len(); j++ {
+		drop[o.head.Int(j)] = struct{}{}
+	}
+	bu := NewBuilder(0)
+	for i := 0; i < b.Len(); i++ {
+		h := b.head.Int(i)
+		if _, ok := drop[h]; ok {
+			continue
+		}
+		bu.Append(h, b.tail.Int(i))
+	}
+	return bu.Build()
+}
+
+// Count returns the number of pairs (alias of Len in Monet style).
+func (b BAT) Count() int { return b.Len() }
+
+// Validate checks internal consistency (equal column lengths) and
+// returns a descriptive error when violated. Operators maintain the
+// invariant; Validate exists for tests and debugging.
+func (b BAT) Validate() error {
+	if b.head.Len() != b.tail.Len() {
+		return fmt.Errorf("bat: head length %d != tail length %d", b.head.Len(), b.tail.Len())
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		less bool
+	}{
+		{Key{1, 0, 0}, Key{2, 0, 0}, true},
+		{Key{1, 5, 0}, Key{1, 6, 0}, true},
+		{Key{1, 5, 2}, Key{1, 5, 3}, true},
+		{Key{2, 0, 0}, Key{1, 9, 9}, false},
+		{Key{1, 1, 1}, Key{1, 1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+	if MinKey.Compare(MaxKey) != -1 || MaxKey.Compare(MinKey) != 1 || MinKey.Compare(MinKey) != 0 {
+		t.Error("sentinel comparison broken")
+	}
+}
+
+func TestBulkLoadSmall(t *testing.T) {
+	keys := []Key{{1, 0, 0}, {2, 0, 0}, {3, 0, 0}}
+	tr := BulkLoad(keys, []int32{10, 20, 30}, nil)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var got []int32
+	tr.Scan(MinKey, MaxKey, func(_ Key, v int32) bool { got = append(got, v); return true })
+	if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+		t.Fatalf("scan = %v", got)
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(nil, nil, nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has entries")
+	}
+	if it := tr.Seek(MinKey); it.Valid() {
+		t.Fatal("iterator on empty tree is valid")
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted bulk load")
+		}
+	}()
+	BulkLoad([]Key{{2, 0, 0}, {1, 0, 0}}, []int32{0, 0}, nil)
+}
+
+func TestBulkLoadLargeAndDepth(t *testing.T) {
+	n := 100_000
+	keys := make([]Key, n)
+	vals := make([]int32, n)
+	for i := range keys {
+		keys[i] = Key{A: int32(i), B: int32(i % 7)}
+		vals[i] = int32(i)
+	}
+	tr := BulkLoad(keys, vals, nil)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() < 2 || tr.Depth() > 4 {
+		t.Fatalf("depth = %d, want small logarithmic depth", tr.Depth())
+	}
+	// Point-ish range scan.
+	got := tr.Count(Key{A: 500}, Key{A: 599, B: 1 << 30})
+	if got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tr := New(nil)
+	rng := rand.New(rand.NewSource(1))
+	var ref []Key
+	for i := 0; i < 5000; i++ {
+		k := Key{A: int32(rng.Intn(1000)), B: int32(rng.Intn(10))}
+		tr.Insert(k, int32(i))
+		ref = append(ref, k)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i].Less(ref[j]) })
+	var got []Key
+	tr.Scan(MinKey, MaxKey, func(k Key, _ int32) bool { got = append(got, k); return true })
+	if len(got) != len(ref) {
+		t.Fatalf("scan length %d, want %d", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("scan[%d] = %v, want %v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestSeekLowerBound(t *testing.T) {
+	keys := []Key{{10, 0, 0}, {20, 0, 0}, {30, 0, 0}}
+	tr := BulkLoad(keys, []int32{1, 2, 3}, nil)
+	it := tr.Seek(Key{15, 0, 0})
+	if !it.Valid() || it.Key().A != 20 {
+		t.Fatalf("Seek(15) at %v", it.Key())
+	}
+	it = tr.Seek(Key{30, 0, 0})
+	if !it.Valid() || it.Key().A != 30 {
+		t.Fatalf("Seek(30) at %v", it.Key())
+	}
+	it = tr.Seek(Key{31, 0, 0})
+	if it.Valid() {
+		t.Fatal("Seek past end should be invalid")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	keys := make([]Key, 100)
+	vals := make([]int32, 100)
+	for i := range keys {
+		keys[i] = Key{A: int32(i)}
+	}
+	tr := BulkLoad(keys, vals, nil)
+	n := 0
+	tr.Scan(MinKey, MaxKey, func(Key, int32) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	keys := []Key{{1, 1, 0}, {1, 1, 0}, {1, 1, 0}, {2, 0, 0}}
+	tr := BulkLoad(keys, []int32{1, 2, 3, 4}, nil)
+	got := tr.Count(Key{1, 1, 0}, Key{1, 1, 0})
+	if got != 3 {
+		t.Fatalf("duplicate count = %d, want 3", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	var st Stats
+	n := 10_000
+	keys := make([]Key, n)
+	vals := make([]int32, n)
+	for i := range keys {
+		keys[i] = Key{A: int32(i)}
+	}
+	tr := BulkLoad(keys, vals, &st)
+	tr.Scan(Key{A: 100}, Key{A: 199}, func(Key, int32) bool { return true })
+	if st.Seeks != 1 {
+		t.Fatalf("Seeks = %d, want 1", st.Seeks)
+	}
+	if st.NodesVisited < int64(tr.Depth()) {
+		t.Fatalf("NodesVisited = %d < depth %d", st.NodesVisited, tr.Depth())
+	}
+	if st.KeysScanned < 100 {
+		t.Fatalf("KeysScanned = %d, want >= 100", st.KeysScanned)
+	}
+	st.Reset()
+	if st.Seeks != 0 || st.NodesVisited != 0 || st.KeysScanned != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestPropInsertMatchesSortedReference(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := New(nil)
+		ref := make([]Key, 0, len(raw))
+		for i, r := range raw {
+			k := Key{A: int32(r % 256), B: int32(r / 256)}
+			tr.Insert(k, int32(i))
+			ref = append(ref, k)
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i].Less(ref[j]) })
+		i := 0
+		okOrder := true
+		tr.Scan(MinKey, MaxKey, func(k Key, _ int32) bool {
+			if i >= len(ref) || k != ref[i] {
+				okOrder = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okOrder && i == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropRangeScanMatchesFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 3000
+	keys := make([]Key, n)
+	vals := make([]int32, n)
+	for i := range keys {
+		keys[i] = Key{A: int32(i / 3), B: int32(i % 3)}
+		vals[i] = int32(i)
+	}
+	tr := BulkLoad(keys, vals, nil)
+	for trial := 0; trial < 100; trial++ {
+		lo := Key{A: int32(rng.Intn(1100) - 50), B: int32(rng.Intn(4) - 1)}
+		hi := Key{A: int32(rng.Intn(1100) - 50), B: int32(rng.Intn(4) - 1)}
+		want := 0
+		for _, k := range keys {
+			if !k.Less(lo) && !hi.Less(k) {
+				want++
+			}
+		}
+		if got := tr.Count(lo, hi); got != want {
+			t.Fatalf("Count(%v,%v) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}

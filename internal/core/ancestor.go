@@ -1,0 +1,212 @@
+package core
+
+import (
+	"staircase/internal/doc"
+)
+
+// AncestorJoin evaluates context/ancestor with the staircase join
+// (Algorithm 2, staircasejoin_anc). The pruned ancestor staircase
+// partitions the plane at the context nodes' pre ranks; partition i is
+// scanned against the boundary post rank of its *right* context node
+// with the > comparison (ancestors sit above the staircase).
+//
+// Skipping (§3.3): a node v inside the partition of context node c with
+// post(v) < post(c) lies on the preceding axis of c together with all
+// of v's descendants, so the scan may jump over the entire subtree of
+// v. Equation (1) sizes the jump; the level column makes it exact (the
+// paper's estimate post(v)−pre(v) is maximally off by h).
+func AncestorJoin(d *doc.Document, context []int32, opts *Options) []int32 {
+	o := opts.orDefault()
+	st := o.Stats
+	if st != nil {
+		st.ContextSize += int64(len(context))
+	}
+	if len(context) == 0 {
+		return nil
+	}
+	if !o.AssumePruned {
+		// Ancestor pruning looks one context node ahead, which is
+		// awkward to fold into the partition loop; on-the-fly pruning
+		// for the ancestor axis therefore also runs as a (cheap)
+		// pre-pass. PruneInline and the default behave identically.
+		context = PruneAncestor(d, context)
+	}
+	if st != nil {
+		st.PrunedSize += int64(len(context))
+	}
+
+	post := d.PostSlice()
+	level := d.LevelSlice()
+	kind := d.KindSlice()
+	result := make([]int32, 0, int(d.Height())*2)
+
+	// First partition: [0, c0-1] against boundary post(c0); subsequent
+	// partitions: [c_{i-1}+1, c_i - 1] against boundary post(c_i).
+	from := int32(0)
+	if o.ScanStart > 0 {
+		from = o.ScanStart // parallel execution: earlier partitions
+		// belong to another worker.
+	}
+	for _, c := range context {
+		result = scanPartitionAnc(result, post, level, kind, from, c-1, post[c], o, st)
+		from = c + 1
+	}
+	if st != nil {
+		st.addResult(int64(len(result)))
+	}
+	return result
+}
+
+// scanPartitionAnc scans doc pres [from, to] against the ancestor
+// boundary `bound` (nodes with post > bound qualify) and appends
+// qualifying nodes to result.
+func scanPartitionAnc(result []int32, post, level []int32, kind []doc.Kind,
+	from, to, bound int32, o *Options, st *Stats) []int32 {
+
+	switch o.Variant {
+	case NoSkip:
+		for i := from; i <= to; i++ {
+			if post[i] > bound {
+				if o.KeepAttributes || kind[i] != doc.Attr {
+					result = append(result, i)
+				}
+			}
+		}
+		if n := int64(to - from + 1); n > 0 && st != nil {
+			st.Compared += n
+			st.Scanned += n
+		}
+	default: // Skip and SkipEstimate coincide for the ancestor axis
+		i := from
+		for i <= to {
+			if st != nil {
+				st.Compared++
+				st.Scanned++
+			}
+			if post[i] > bound {
+				if o.KeepAttributes || kind[i] != doc.Attr {
+					result = append(result, i)
+				}
+				i++
+				continue
+			}
+			// v and all its descendants lie on the preceding axis of
+			// the boundary context node: jump over the subtree.
+			// Exact size via Equation (1): post - pre + level.
+			next := i + 1 + (post[i] - i + level[i])
+			if next <= i { // defensive: never stall
+				next = i + 1
+			}
+			if st != nil {
+				jump := next - i - 1
+				if to+1 < next {
+					jump = to - i
+				}
+				if jump > 0 {
+					st.Skipped += int64(jump)
+				}
+			}
+			i = next
+		}
+	}
+	return result
+}
+
+// FollowingJoin evaluates context/following. After pruning, the context
+// degenerates to the single node with minimum postorder rank (§3.1), so
+// the join is one region query; the region is materialised by a bulk
+// copy of the pre range beyond the context node's subtree (every node
+// after the subtree of c follows c).
+func FollowingJoin(d *doc.Document, context []int32, opts *Options) []int32 {
+	o := opts.orDefault()
+	st := o.Stats
+	if st != nil {
+		st.ContextSize += int64(len(context))
+	}
+	c, ok := ReduceFollowing(d, context)
+	if !ok {
+		return nil
+	}
+	if st != nil {
+		st.PrunedSize++
+	}
+	kind := d.KindSlice()
+	n := int32(d.Size())
+	start := c + 1 + d.SubtreeSize(c) // first pre after c's subtree
+	if st != nil && start < n {
+		st.Scanned += int64(n - start)
+		st.Copied += int64(n - start)
+	}
+	result := make([]int32, 0, int(n-start))
+	for i := start; i < n; i++ {
+		if o.KeepAttributes || kind[i] != doc.Attr {
+			result = append(result, i)
+		}
+	}
+	if st != nil {
+		st.addResult(int64(len(result)))
+	}
+	return result
+}
+
+// PrecedingJoin evaluates context/preceding. After pruning, the context
+// degenerates to the single node with maximum preorder rank (§3.1).
+// Every node before c in pre order is either an ancestor of c (at most
+// h many) or on the preceding axis, so one scan of [0, c) with an
+// ancestor test per node suffices.
+func PrecedingJoin(d *doc.Document, context []int32, opts *Options) []int32 {
+	o := opts.orDefault()
+	st := o.Stats
+	if st != nil {
+		st.ContextSize += int64(len(context))
+	}
+	c, ok := ReducePreceding(d, context)
+	if !ok {
+		return nil
+	}
+	if st != nil {
+		st.PrunedSize++
+	}
+	post := d.PostSlice()
+	kind := d.KindSlice()
+	bound := post[c]
+	result := make([]int32, 0, int(c))
+	for i := int32(0); i < c; i++ {
+		if post[i] < bound {
+			if o.KeepAttributes || kind[i] != doc.Attr {
+				result = append(result, i)
+			}
+		}
+	}
+	if st != nil {
+		st.Scanned += int64(c)
+		st.Compared += int64(c)
+		st.addResult(int64(len(result)))
+	}
+	return result
+}
+
+// MergeOrSelf merges a staircase join result with the context sequence
+// itself, implementing the -or-self axis variants. Both inputs must be
+// strictly increasing; the output is their strictly increasing union.
+func MergeOrSelf(result, context []int32) []int32 {
+	out := make([]int32, 0, len(result)+len(context))
+	i, j := 0, 0
+	for i < len(result) && j < len(context) {
+		switch {
+		case result[i] < context[j]:
+			out = append(out, result[i])
+			i++
+		case result[i] > context[j]:
+			out = append(out, context[j])
+			j++
+		default:
+			out = append(out, result[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, result[i:]...)
+	out = append(out, context[j:]...)
+	return out
+}

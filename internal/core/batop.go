@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"staircase/internal/axis"
+	"staircase/internal/bat"
+	"staircase/internal/doc"
+)
+
+// This file exposes the staircase join with the kernel-level operator
+// signature of the paper's §4: Monet sees the document as the BAT group
+// doc = [pre(void)|post] ... and the context as a BAT of pre ranks; the
+// staircase join is "a local change to the database kernel" — one more
+// BAT operator. The engine's slice-based entry points remain the fast
+// path; these wrappers let BAT-algebra plans (and the Pathfinder-style
+// compilation the paper targets) treat the join like any other kernel
+// operator.
+
+// StaircaseJoinBAT evaluates context/axis over the document and returns
+// the result as a dense [void|pre] BAT in document order. The context
+// BAT's tail must hold pre ranks in strictly increasing order (its head
+// is ignored, as Monet operators ignore alignment heads).
+func StaircaseJoinBAT(d *doc.Document, a axis.Axis, context bat.BAT, opts *Options) (bat.BAT, error) {
+	ctx, err := contextSlice(context)
+	if err != nil {
+		return bat.BAT{}, err
+	}
+	res, err := Join(d, a, ctx, opts)
+	if err != nil {
+		return bat.BAT{}, err
+	}
+	return bat.NewDense(res), nil
+}
+
+// StaircaseJoinNodeListBAT is the pushdown form: the node list is a
+// dense BAT of pre ranks (e.g. a tag fragment), mirroring
+// staircasejoin_axis(nametest(doc, n), cs) of §4.4.
+func StaircaseJoinNodeListBAT(d *doc.Document, a axis.Axis, list, context bat.BAT, opts *Options) (bat.BAT, error) {
+	ctx, err := contextSlice(context)
+	if err != nil {
+		return bat.BAT{}, err
+	}
+	ls, err := contextSlice(list)
+	if err != nil {
+		return bat.BAT{}, fmt.Errorf("core: node list: %w", err)
+	}
+	res, err := JoinNodeList(d, a, ls, ctx, opts)
+	if err != nil {
+		return bat.BAT{}, err
+	}
+	return bat.NewDense(res), nil
+}
+
+// PruneBAT applies axis pruning to a context BAT, returning the proper
+// staircase as a dense BAT (Algorithm 1 at the kernel interface).
+func PruneBAT(d *doc.Document, a axis.Axis, context bat.BAT) (bat.BAT, error) {
+	ctx, err := contextSlice(context)
+	if err != nil {
+		return bat.BAT{}, err
+	}
+	switch a {
+	case axis.Descendant, axis.Following:
+		return bat.NewDense(PruneDescendant(d, ctx)), nil
+	case axis.Ancestor, axis.Preceding:
+		return bat.NewDense(PruneAncestor(d, ctx)), nil
+	default:
+		return bat.BAT{}, fmt.Errorf("core: pruning undefined for axis %v", a)
+	}
+}
+
+// contextSlice extracts and validates the pre ranks of a context BAT.
+func contextSlice(context bat.BAT) ([]int32, error) {
+	tail := context.Tail()
+	if tail.Type() == bat.Str {
+		return nil, fmt.Errorf("core: context tail must be numeric, got %v", tail.Type())
+	}
+	if !tail.IsStrictlySorted() {
+		return nil, fmt.Errorf("core: context must be in document order (strictly increasing pre ranks)")
+	}
+	return tail.Ints(), nil
+}

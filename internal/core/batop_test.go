@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"staircase/internal/axis"
+	"staircase/internal/bat"
+)
+
+func TestStaircaseJoinBATMatchesSliceForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 10; trial++ {
+		d := randomDoc(rng, 300)
+		ctx := randomContext(rng, d, 1+rng.Intn(15))
+		cb := bat.NewDense(ctx)
+		for _, a := range []axis.Axis{axis.Descendant, axis.Ancestor, axis.Following, axis.Preceding} {
+			want, err := Join(d, a, ctx, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := StaircaseJoinBAT(d, a, cb, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len() != len(want) {
+				t.Fatalf("axis %v: BAT form %d vs %d", a, got.Len(), len(want))
+			}
+			if !got.Head().IsVoid() {
+				t.Fatalf("axis %v: result head must be void (dense)", a)
+			}
+			for i, w := range want {
+				if got.Tail().Int(i) != w {
+					t.Fatalf("axis %v: result[%d] = %d, want %d", a, i, got.Tail().Int(i), w)
+				}
+			}
+		}
+	}
+}
+
+func TestStaircaseJoinNodeListBAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	d := randomDoc(rng, 300)
+	ctx := randomContext(rng, d, 8)
+	list := randomList(rng, d, 0.4)
+	want := DescendantJoinNodeList(d, list, ctx, nil)
+	got, err := StaircaseJoinNodeListBAT(d, axis.Descendant, bat.NewDense(list), bat.NewDense(ctx), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(want) {
+		t.Fatalf("BAT node-list form %d vs %d", got.Len(), len(want))
+	}
+}
+
+func TestPruneBAT(t *testing.T) {
+	d := figure1(t)
+	pruned, err := PruneBAT(d, axis.Descendant, bat.NewDense(pres("abfg")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Len() != 1 || pruned.Tail().Int(0) != 0 {
+		t.Fatalf("PruneBAT = %v", pruned)
+	}
+	if _, err := PruneBAT(d, axis.Child, bat.NewDense(pres("a"))); err == nil {
+		t.Fatal("expected error for non-partitioning axis")
+	}
+	// Ancestor pruning path.
+	pa, err := PruneBAT(d, axis.Ancestor, bat.NewDense(pres("defhij")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagsOf(d, pa.Tail().Ints()) != "dhj" {
+		t.Fatalf("ancestor PruneBAT = %q", tagsOf(d, pa.Tail().Ints()))
+	}
+}
+
+func TestBATOperatorRejectsBadContext(t *testing.T) {
+	d := figure1(t)
+	unsorted := bat.NewDense([]int32{3, 1})
+	if _, err := StaircaseJoinBAT(d, axis.Descendant, unsorted, nil); err == nil {
+		t.Fatal("expected error for unsorted context")
+	}
+	strBAT := bat.NewDenseStr([]string{"x"})
+	if _, err := StaircaseJoinBAT(d, axis.Descendant, strBAT, nil); err == nil {
+		t.Fatal("expected error for string context")
+	}
+	if _, err := StaircaseJoinNodeListBAT(d, axis.Descendant, strBAT, bat.NewDense([]int32{0}), nil); err == nil {
+		t.Fatal("expected error for string node list")
+	}
+	if _, err := StaircaseJoinBAT(d, axis.Child, bat.NewDense([]int32{0}), nil); err == nil {
+		t.Fatal("expected error for non-partitioning axis")
+	}
+}

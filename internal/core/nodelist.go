@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sort"
+
+	"staircase/internal/axis"
+	"staircase/internal/doc"
+)
+
+// This file implements the staircase join over a *node list*: a
+// pre-sorted subset of the document (e.g. all elements with a given tag
+// name). This is the machinery behind the paper's name-test pushdown
+// (§4.4, Experiment 3):
+//
+//	nametest(staircasejoin_anc(doc, cs), n)
+//	  = staircasejoin_anc(nametest(doc, n), cs)
+//
+// "The tree properties used by the staircase join are entirely based on
+// preorder and postorder ranks. Those properties remain valid for a
+// subset of nodes." In particular, the skipping argument still holds:
+// the first list node outside the boundary of context node c follows c
+// in document order, so no later list node in the partition can be a
+// descendant of c.
+
+// JoinNodeList evaluates an axis step along a partitioning axis against
+// a pre-sorted node list instead of the whole document. The result is
+// the intersection of the usual staircase join result with the list.
+func JoinNodeList(d *doc.Document, a axis.Axis, list, context []int32, opts *Options) ([]int32, error) {
+	switch a {
+	case axis.Descendant:
+		return DescendantJoinNodeList(d, list, context, opts), nil
+	case axis.Ancestor:
+		return AncestorJoinNodeList(d, list, context, opts), nil
+	case axis.Following:
+		return FollowingJoinNodeList(d, list, context, opts), nil
+	case axis.Preceding:
+		return PrecedingJoinNodeList(d, list, context, opts), nil
+	default:
+		return nil, errNonPartitioning(a)
+	}
+}
+
+func errNonPartitioning(a axis.Axis) error {
+	return &nonPartitioningError{a}
+}
+
+type nonPartitioningError struct{ a axis.Axis }
+
+func (e *nonPartitioningError) Error() string {
+	return "core: staircase join does not handle axis " + e.a.String()
+}
+
+// searchList returns the smallest index i with list[i] >= pre.
+func searchList(list []int32, pre int32) int {
+	return sort.Search(len(list), func(i int) bool { return list[i] >= pre })
+}
+
+// DescendantJoinNodeList computes context/descendant ∩ list.
+func DescendantJoinNodeList(d *doc.Document, list, context []int32, opts *Options) []int32 {
+	o := opts.orDefault()
+	st := o.Stats
+	if st != nil {
+		st.ContextSize += int64(len(context))
+	}
+	if len(context) == 0 || len(list) == 0 {
+		return nil
+	}
+	if !o.AssumePruned {
+		context = PruneDescendant(d, context)
+	}
+	if st != nil {
+		st.PrunedSize += int64(len(context))
+	}
+	post := d.PostSlice()
+	kind := d.KindSlice()
+	result := make([]int32, 0, 64)
+
+	li := 0
+	for i, c := range context {
+		// Partition of c in the list: entries with pre > c, up to the
+		// next context node.
+		if li < len(list) && list[li] <= c {
+			li = searchList(list[li:], c+1) + li
+		}
+		end := len(list)
+		if i+1 < len(context) {
+			end = searchList(list, context[i+1])
+		}
+		bound := post[c]
+		switch o.Variant {
+		case NoSkip:
+			for j := li; j < end; j++ {
+				v := list[j]
+				if post[v] < bound && (o.KeepAttributes || kind[v] != doc.Attr) {
+					result = append(result, v)
+				}
+			}
+			if st != nil {
+				st.Compared += int64(end - li)
+				st.Scanned += int64(end - li)
+			}
+			li = end
+		default: // Skip, SkipEstimate
+			j := li
+			if o.Variant == SkipEstimate {
+				// Copy phase on the list: all entries with pre <= post(c)
+				// are guaranteed descendants of c (Equation (1) lower
+				// bound); locate the range by binary search.
+				guarantee := searchList(list[j:end], bound+1) + j
+				for ; j < guarantee; j++ {
+					v := list[j]
+					if o.KeepAttributes || kind[v] != doc.Attr {
+						result = append(result, v)
+					}
+				}
+				if st != nil {
+					st.Copied += int64(guarantee - li)
+					st.Scanned += int64(guarantee - li)
+				}
+			}
+			for ; j < end; j++ {
+				v := list[j]
+				if st != nil {
+					st.Compared++
+					st.Scanned++
+				}
+				if post[v] < bound {
+					if o.KeepAttributes || kind[v] != doc.Attr {
+						result = append(result, v)
+					}
+				} else {
+					if st != nil {
+						st.Skipped += int64(end - j - 1)
+					}
+					break
+				}
+			}
+			li = end
+		}
+	}
+	if st != nil {
+		st.addResult(int64(len(result)))
+	}
+	return result
+}
+
+// AncestorJoinNodeList computes context/ancestor ∩ list.
+func AncestorJoinNodeList(d *doc.Document, list, context []int32, opts *Options) []int32 {
+	o := opts.orDefault()
+	st := o.Stats
+	if st != nil {
+		st.ContextSize += int64(len(context))
+	}
+	if len(context) == 0 || len(list) == 0 {
+		return nil
+	}
+	if !o.AssumePruned {
+		context = PruneAncestor(d, context)
+	}
+	if st != nil {
+		st.PrunedSize += int64(len(context))
+	}
+	post := d.PostSlice()
+	kind := d.KindSlice()
+	result := make([]int32, 0, 64)
+
+	li := 0
+	for _, c := range context {
+		end := searchList(list, c) // partition: list entries with pre < c
+		bound := post[c]
+		j := li
+		for j < end {
+			v := list[j]
+			if st != nil {
+				st.Compared++
+				st.Scanned++
+			}
+			if post[v] > bound {
+				if o.KeepAttributes || kind[v] != doc.Attr {
+					result = append(result, v)
+				}
+				j++
+				continue
+			}
+			if o.Variant == NoSkip {
+				j++
+				continue
+			}
+			// v and its descendants precede c: jump past v's subtree
+			// within the list by binary search.
+			next := searchList(list[j+1:end], v+1+d.SubtreeSize(v)) + j + 1
+			if st != nil {
+				st.Skipped += int64(next - j - 1)
+			}
+			j = next
+		}
+		li = end
+	}
+	if st != nil {
+		st.addResult(int64(len(result)))
+	}
+	return result
+}
+
+// FollowingJoinNodeList computes context/following ∩ list: the list
+// suffix beyond the subtree of the minimum-post context node.
+func FollowingJoinNodeList(d *doc.Document, list, context []int32, opts *Options) []int32 {
+	o := opts.orDefault()
+	st := o.Stats
+	if st != nil {
+		st.ContextSize += int64(len(context))
+	}
+	c, ok := ReduceFollowing(d, context)
+	if !ok || len(list) == 0 {
+		return nil
+	}
+	if st != nil {
+		st.PrunedSize++
+	}
+	kind := d.KindSlice()
+	from := searchList(list, c+1+d.SubtreeSize(c))
+	result := make([]int32, 0, len(list)-from)
+	for _, v := range list[from:] {
+		if o.KeepAttributes || kind[v] != doc.Attr {
+			result = append(result, v)
+		}
+	}
+	if st != nil {
+		st.Copied += int64(len(list) - from)
+		st.Scanned += int64(len(list) - from)
+		st.addResult(int64(len(result)))
+	}
+	return result
+}
+
+// PrecedingJoinNodeList computes context/preceding ∩ list: list entries
+// before the maximum-pre context node, minus its ancestors.
+func PrecedingJoinNodeList(d *doc.Document, list, context []int32, opts *Options) []int32 {
+	o := opts.orDefault()
+	st := o.Stats
+	if st != nil {
+		st.ContextSize += int64(len(context))
+	}
+	c, ok := ReducePreceding(d, context)
+	if !ok || len(list) == 0 {
+		return nil
+	}
+	if st != nil {
+		st.PrunedSize++
+	}
+	post := d.PostSlice()
+	kind := d.KindSlice()
+	bound := post[c]
+	end := searchList(list, c)
+	result := make([]int32, 0, end)
+	for _, v := range list[:end] {
+		if st != nil {
+			st.Compared++
+			st.Scanned++
+		}
+		if post[v] < bound && (o.KeepAttributes || kind[v] != doc.Attr) {
+			result = append(result, v)
+		}
+	}
+	if st != nil {
+		st.addResult(int64(len(result)))
+	}
+	return result
+}

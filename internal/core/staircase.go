@@ -1,0 +1,410 @@
+// Package core implements the staircase join of Grust, van Keulen and
+// Teubner (VLDB 2003) — the paper's primary contribution.
+//
+// The staircase join evaluates an XPath axis step for an entire context
+// node sequence against a pre/post encoded document in a single
+// sequential scan. It encapsulates three pieces of tree knowledge:
+//
+//  1. Pruning (§3.1): context nodes whose axis regions are covered by
+//     other context nodes are removed up front; for descendant/ancestor
+//     the survivors form a proper staircase in the pre/post plane, for
+//     following/preceding the context degenerates to a single node.
+//  2. Partitioned scan (§3.2, Algorithm 2): the staircase splits the
+//     plane into partitions, one per context node; scanning each
+//     partition once yields the result duplicate-free and in document
+//     order — no unique, no sort.
+//  3. Skipping (§3.3, Algorithm 3) and estimation-based skipping (§4.2,
+//     Algorithm 4): empty-region analysis (Figure 7) ends partition
+//     scans early, and Equation (1) turns the bulk of each descendant
+//     partition into a comparison-free copy phase, bounding post-rank
+//     comparisons by h·|context|.
+//
+// All functions operate on preorder ranks (int32) against a
+// doc.Document; contexts are sequences of pre ranks in document order
+// (strictly increasing), as XPath intermediate results always are.
+package core
+
+import (
+	"fmt"
+
+	"staircase/internal/axis"
+	"staircase/internal/doc"
+)
+
+// Variant selects the scan strategy inside each staircase partition.
+type Variant uint8
+
+const (
+	// NoSkip is the basic Algorithm 2: every node of every partition is
+	// compared against the staircase boundary.
+	NoSkip Variant = iota
+	// Skip is Algorithm 3: the partition scan terminates at the first
+	// node outside the boundary (descendant), or jumps over skipped
+	// subtrees (ancestor), touching at most |result|+|context| nodes.
+	Skip
+	// SkipEstimate is Algorithm 4: Skip plus the Equation (1) estimate
+	// that splits descendant partitions into a comparison-free copy
+	// phase and a ≤ h-node scan phase. For axes other than descendant
+	// it behaves like Skip.
+	SkipEstimate
+)
+
+// String returns a short name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case NoSkip:
+		return "noskip"
+	case Skip:
+		return "skip"
+	case SkipEstimate:
+		return "skip-estimate"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// Stats records the work a staircase join performed. The counters drive
+// the paper's Experiment 2 (Figure 11 (c): nodes accessed per variant).
+type Stats struct {
+	// ContextSize is the context length before pruning.
+	ContextSize int64
+	// PrunedSize is the context length after pruning (the number of
+	// staircase partitions).
+	PrunedSize int64
+	// Scanned counts document nodes touched by the scan: Copied+Compared.
+	Scanned int64
+	// Copied counts nodes emitted without a post-rank comparison
+	// (estimation-based copy phase only).
+	Copied int64
+	// Compared counts nodes whose post rank was compared against the
+	// staircase boundary.
+	Compared int64
+	// Skipped counts document nodes jumped over without being touched.
+	Skipped int64
+	// Result is the number of result nodes produced.
+	Result int64
+}
+
+// add is a nil-safe counter bump helper used by the join loops.
+func (s *Stats) addResult(n int64) {
+	if s != nil {
+		s.Result += n
+	}
+}
+
+// Options configures a staircase join invocation. The zero value (and a
+// nil *Options) requests the full paper configuration: estimation-based
+// skipping, attribute filtering, pruning as a pre-pass.
+type Options struct {
+	// Variant selects NoSkip, Skip or SkipEstimate (default SkipEstimate
+	// ... note: the zero value of Variant is NoSkip, so Options
+	// explicitly distinguishes "unset"; use DefaultOptions for the
+	// paper configuration).
+	Variant Variant
+	// KeepAttributes disables the attribute filter, delivering
+	// attribute nodes like any other node. The paper filters attributes
+	// on every axis but `attribute` (§3).
+	KeepAttributes bool
+	// PruneInline folds pruning into the partition loop instead of
+	// running it as a separate pre-pass over the context (§3.2: the
+	// join "is easily adapted to do pruning on-the-fly, thus saving a
+	// separate scan over the context table").
+	PruneInline bool
+	// AssumePruned skips pruning entirely; the caller asserts the
+	// context is already a proper staircase. Violating the assertion
+	// yields wrong results (the paper: the basic algorithm "only works
+	// correctly on proper staircases").
+	AssumePruned bool
+	// ScanLimit, when positive, bounds the last descendant partition to
+	// pre ranks <= ScanLimit instead of the document end. It is the
+	// building block of the partition-parallel execution strategy the
+	// paper sketches in §3.2/§6: each worker joins a contiguous slice
+	// of the staircase, delimited by the next worker's first context
+	// node.
+	ScanLimit int32
+	// ScanStart, when positive, starts the first ancestor partition at
+	// this pre rank instead of 0 (the parallel counterpart for the
+	// ancestor axis).
+	ScanStart int32
+	// Stats, when non-nil, accumulates work counters.
+	Stats *Stats
+}
+
+// DefaultOptions returns the paper's full configuration:
+// estimation-based skipping with attribute filtering.
+func DefaultOptions() *Options {
+	return &Options{Variant: SkipEstimate}
+}
+
+func (o *Options) orDefault() *Options {
+	if o == nil {
+		return DefaultOptions()
+	}
+	return o
+}
+
+// Join evaluates an axis step along one of the four partitioning axes
+// (descendant, ancestor, following, preceding) for the given context
+// using the staircase join. The context must be in document order
+// (strictly increasing pre ranks). The result is duplicate-free and in
+// document order.
+func Join(d *doc.Document, a axis.Axis, context []int32, opts *Options) ([]int32, error) {
+	switch a {
+	case axis.Descendant:
+		return DescendantJoin(d, context, opts), nil
+	case axis.Ancestor:
+		return AncestorJoin(d, context, opts), nil
+	case axis.Following:
+		return FollowingJoin(d, context, opts), nil
+	case axis.Preceding:
+		return PrecedingJoin(d, context, opts), nil
+	default:
+		return nil, fmt.Errorf("core: staircase join does not handle axis %v", a)
+	}
+}
+
+// --- pruning (§3.1, Algorithm 1) ------------------------------------------
+
+// PruneDescendant removes context nodes covered by other context nodes
+// for the descendant axis: a node is dropped iff it is a descendant of
+// an earlier context node. The surviving sequence has strictly
+// increasing pre AND post ranks — a proper staircase. The input must be
+// in document order; duplicates are dropped as a side effect.
+func PruneDescendant(d *doc.Document, context []int32) []int32 {
+	post := d.PostSlice()
+	out := make([]int32, 0, len(context))
+	prev := int32(-1)
+	for _, c := range context {
+		if post[c] > prev {
+			out = append(out, c)
+			prev = post[c]
+		}
+	}
+	return out
+}
+
+// PruneAncestor removes context nodes covered for the ancestor axis: a
+// node is dropped iff it is an ancestor of a later context node (its
+// ancestor-or-self path is a prefix of the other's, Figure 4). The
+// surviving staircase again has strictly increasing pre and post ranks.
+func PruneAncestor(d *doc.Document, context []int32) []int32 {
+	post := d.PostSlice()
+	out := make([]int32, 0, len(context))
+	for i, c := range context {
+		// c is an ancestor of the next context node iff the next node
+		// lies in c's descendant window; descendants of c within the
+		// context directly follow c (document order), so checking the
+		// immediate successor suffices.
+		if i+1 < len(context) {
+			next := context[i+1]
+			if post[next] < post[c] { // next is a descendant of c
+				continue
+			}
+			if next == c { // duplicate
+				continue
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ReduceFollowing returns the single context node that determines the
+// whole following-axis result: the node with minimum postorder rank
+// (§3.1: "all context nodes can be pruned except ... the minimum
+// postorder rank in case of following"). ok is false for empty contexts.
+func ReduceFollowing(d *doc.Document, context []int32) (int32, bool) {
+	if len(context) == 0 {
+		return 0, false
+	}
+	post := d.PostSlice()
+	best := context[0]
+	for _, c := range context[1:] {
+		if post[c] < post[best] {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// ReducePreceding returns the single context node that determines the
+// whole preceding-axis result: the node with maximum preorder rank.
+func ReducePreceding(d *doc.Document, context []int32) (int32, bool) {
+	if len(context) == 0 {
+		return 0, false
+	}
+	// Context is in document order: the maximum pre rank is the last.
+	return context[len(context)-1], true
+}
+
+// IsStaircaseDesc reports whether context is a proper descendant-axis
+// staircase: strictly increasing pre and post ranks.
+func IsStaircaseDesc(d *doc.Document, context []int32) bool {
+	post := d.PostSlice()
+	for i := 1; i < len(context); i++ {
+		if context[i-1] >= context[i] || post[context[i-1]] >= post[context[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- descendant staircase join (§3.2–§4.2) --------------------------------
+
+// DescendantJoin evaluates context/descendant with the staircase join.
+func DescendantJoin(d *doc.Document, context []int32, opts *Options) []int32 {
+	o := opts.orDefault()
+	st := o.Stats
+	if st != nil {
+		st.ContextSize += int64(len(context))
+	}
+	if len(context) == 0 {
+		return nil
+	}
+	if !o.AssumePruned && !o.PruneInline {
+		context = PruneDescendant(d, context)
+	}
+
+	post := d.PostSlice()
+	kind := d.KindSlice()
+	n := int32(d.Size())
+	if o.ScanLimit > 0 && o.ScanLimit < n-1 {
+		n = o.ScanLimit + 1 // partitions end at pre rank ScanLimit
+	}
+	// A generous initial capacity: the last staircase step's boundary is
+	// an upper bound for how far the scan can reach.
+	result := make([]int32, 0, 1024)
+
+	prevPost := int32(-1) // on-the-fly pruning state
+	partitions := int64(0)
+
+	emit := func(c int32, from, to int32) { // partition of c covers pres [from, to]
+		partitions++
+		result = scanPartitionDesc(result, post, kind, from, to, post[c], o, st)
+	}
+
+	for i := 0; i < len(context); i++ {
+		c := context[i]
+		if o.PruneInline && !o.AssumePruned {
+			if post[c] <= prevPost {
+				continue
+			}
+			prevPost = post[c]
+		}
+		// Find the partition end: pre of the next surviving context
+		// node minus one, or the end of the document.
+		to := n - 1
+		for j := i + 1; j < len(context); j++ {
+			cn := context[j]
+			if o.PruneInline && !o.AssumePruned && post[cn] <= post[c] {
+				continue // cn will be pruned; its pre does not bound us
+			}
+			to = cn - 1
+			break
+		}
+		emit(c, c+1, to)
+	}
+	if st != nil {
+		st.PrunedSize += partitions
+		st.addResult(int64(len(result)))
+	}
+	return result
+}
+
+// scanPartitionDesc scans doc pres [from, to] against the descendant
+// boundary post rank `bound` and appends qualifying nodes to result.
+// It implements Algorithms 2 (NoSkip), 3 (Skip) and 4 (SkipEstimate).
+func scanPartitionDesc(result []int32, post []int32, kind []doc.Kind,
+	from, to, bound int32, o *Options, st *Stats) []int32 {
+
+	if from > to {
+		return result
+	}
+	i := from
+	switch o.Variant {
+	case NoSkip:
+		for ; i <= to; i++ {
+			if post[i] < bound {
+				if o.KeepAttributes || kind[i] != doc.Attr {
+					result = append(result, i)
+				}
+			}
+		}
+		if st != nil {
+			st.Compared += int64(to - from + 1)
+			st.Scanned += int64(to - from + 1)
+		}
+	case Skip:
+		for ; i <= to; i++ {
+			if post[i] < bound {
+				if o.KeepAttributes || kind[i] != doc.Attr {
+					result = append(result, i)
+				}
+			} else {
+				break // skip: empty region of type Z (Figure 7 (b))
+			}
+		}
+		if st != nil {
+			touched := i - from
+			if i <= to {
+				touched++ // the breaking node was compared too
+				st.Skipped += int64(to - i)
+			}
+			st.Compared += int64(touched)
+			st.Scanned += int64(touched)
+		}
+	case SkipEstimate:
+		// Copy phase: the first post(c)−pre(c) nodes after c are
+		// guaranteed descendants (Equation (1) lower bound); the
+		// partition starts at from = pre(c)+1, so the guaranteed range
+		// ends at pre rank `bound` (= post(c)) or the partition end.
+		estimate := bound
+		if to < estimate {
+			estimate = to
+		}
+		if o.KeepAttributes {
+			// Comparison-free bulk emit of the pre range [from, estimate].
+			if estimate >= i {
+				base := len(result)
+				result = append(result, make([]int32, int(estimate-i+1))...)
+				for k := range result[base:] {
+					result[base+k] = i + int32(k)
+				}
+				i = estimate + 1
+			}
+		} else {
+			for ; i <= estimate; i++ {
+				if kind[i] != doc.Attr {
+					result = append(result, i)
+				}
+			}
+		}
+		if st != nil {
+			copied := estimate - from + 1
+			if copied > 0 {
+				st.Copied += int64(copied)
+				st.Scanned += int64(copied)
+			}
+		}
+		// Scan phase: at most h further descendants.
+		scanned := int64(0)
+		for ; i <= to; i++ {
+			scanned++
+			if post[i] < bound {
+				if o.KeepAttributes || kind[i] != doc.Attr {
+					result = append(result, i)
+				}
+			} else {
+				break
+			}
+		}
+		if st != nil {
+			st.Compared += scanned
+			st.Scanned += scanned
+			if i <= to {
+				st.Skipped += int64(to - i)
+			}
+		}
+	}
+	return result
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"staircase/internal/axis"
+	"staircase/internal/doc"
+)
+
+// figure1 shreds the running example of the paper (Figures 1, 2, 4, 8):
+// a(b(c), d, e(f(g,h), i(j))).
+func figure1(t testing.TB) *doc.Document {
+	t.Helper()
+	d, err := doc.ShredString(`<a><b><c/></b><d/><e><f><g/><h/></f><i><j/></i></e></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func pres(names string) []int32 {
+	// figure1 tags a..j map to pres 0..9
+	out := make([]int32, 0, len(names))
+	for _, r := range names {
+		out = append(out, int32(r-'a'))
+	}
+	return out
+}
+
+func tagsOf(d *doc.Document, ps []int32) string {
+	out := make([]byte, len(ps))
+	for i, p := range ps {
+		out[i] = byte('a' + p)
+	}
+	return string(out)
+}
+
+func eq32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// specJoin is the specification result: all nodes on axis a of any
+// context node, document order, duplicate free, attribute filtering on.
+func specJoin(d *doc.Document, a axis.Axis, context []int32) []int32 {
+	var out []int32
+	for v := int32(0); int(v) < d.Size(); v++ {
+		for _, c := range context {
+			if axis.In(d, a, c, v) {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func allVariants() []*Options {
+	return []*Options{
+		{Variant: NoSkip},
+		{Variant: Skip},
+		{Variant: SkipEstimate},
+		{Variant: NoSkip, PruneInline: true},
+		{Variant: Skip, PruneInline: true},
+		{Variant: SkipEstimate, PruneInline: true},
+		nil, // default
+	}
+}
+
+func TestPruneDescendantFigure6Style(t *testing.T) {
+	d := figure1(t)
+	// Context (a, b, f, g): b, g are descendants of earlier nodes,
+	// f is a descendant of a => staircase (a) alone.
+	got := PruneDescendant(d, pres("abfg"))
+	if tagsOf(d, got) != "a" {
+		t.Fatalf("prune = %q, want %q", tagsOf(d, got), "a")
+	}
+	// Context (b, d, f): pairwise preceding/following => untouched.
+	got = PruneDescendant(d, pres("bdf"))
+	if tagsOf(d, got) != "bdf" {
+		t.Fatalf("prune = %q, want %q", tagsOf(d, got), "bdf")
+	}
+	// Duplicates are removed.
+	got = PruneDescendant(d, []int32{1, 1, 3})
+	if tagsOf(d, got) != "bd" {
+		t.Fatalf("prune dup = %q, want %q", tagsOf(d, got), "bd")
+	}
+}
+
+func TestPruneAncestorFigure4(t *testing.T) {
+	d := figure1(t)
+	// Paper Figure 4: context (d, e, f, h, i, j); e, f, i lie on paths
+	// from other context nodes to the root and are pruned.
+	got := PruneAncestor(d, pres("defhij"))
+	if tagsOf(d, got) != "dhj" {
+		t.Fatalf("prune = %q, want %q", tagsOf(d, got), "dhj")
+	}
+	// Pruned staircases have strictly increasing pre and post.
+	if !IsStaircaseDesc(d, got) {
+		t.Fatal("ancestor-pruned context is not a staircase")
+	}
+}
+
+func TestFigure4AncestorOrSelfResult(t *testing.T) {
+	d := figure1(t)
+	context := pres("defhij")
+	anc := AncestorJoin(d, context, nil)
+	res := MergeOrSelf(anc, context)
+	if tagsOf(d, res) != "adefhij" {
+		t.Fatalf("ancestor-or-self = %q, want %q", tagsOf(d, res), "adefhij")
+	}
+}
+
+func TestPaperSection21Example(t *testing.T) {
+	// (c)/following/descendant = (f, g, h, i, j) — §2.1.
+	d := figure1(t)
+	foll := FollowingJoin(d, pres("c"), nil)
+	if tagsOf(d, foll) != "defghij"[1:] { // following of c = e,f,g,h,i,j? verify below
+		// Computed explicitly instead: see assertions following.
+		_ = foll
+	}
+	// c has pre 2, post 0; following = everything with pre>2, post>0:
+	// d,e,f,g,h,i,j.
+	if tagsOf(d, foll) != "defghij" {
+		t.Fatalf("c/following = %q, want %q", tagsOf(d, foll), "defghij")
+	}
+	desc := DescendantJoin(d, foll, nil)
+	if tagsOf(d, desc) != "fghij" {
+		t.Fatalf("c/following/descendant = %q, want %q", tagsOf(d, desc), "fghij")
+	}
+}
+
+func TestJoinMatchesSpecOnFigure1AllContexts(t *testing.T) {
+	d := figure1(t)
+	// All 2^10-1 non-empty context subsets is 1023: cheap enough.
+	for mask := 1; mask < 1024; mask++ {
+		var context []int32
+		for b := 0; b < 10; b++ {
+			if mask&(1<<b) != 0 {
+				context = append(context, int32(b))
+			}
+		}
+		for _, a := range []axis.Axis{axis.Descendant, axis.Ancestor, axis.Following, axis.Preceding} {
+			want := specJoin(d, a, context)
+			for _, o := range allVariants() {
+				got, err := Join(d, a, context, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !eq32(got, want) {
+					t.Fatalf("mask %d axis %v opts %+v: got %v want %v", mask, a, o, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinRejectsNonPartitioningAxis(t *testing.T) {
+	d := figure1(t)
+	if _, err := Join(d, axis.Child, []int32{0}, nil); err == nil {
+		t.Fatal("expected error for child axis")
+	}
+}
+
+func TestEmptyContext(t *testing.T) {
+	d := figure1(t)
+	for _, a := range []axis.Axis{axis.Descendant, axis.Ancestor, axis.Following, axis.Preceding} {
+		got, err := Join(d, a, nil, nil)
+		if err != nil || len(got) != 0 {
+			t.Fatalf("axis %v: got %v, %v", a, got, err)
+		}
+	}
+}
+
+func TestReduceFollowingPreceding(t *testing.T) {
+	d := figure1(t)
+	// Context (b, f): min post is b (post 1) -> following boundary.
+	c, ok := ReduceFollowing(d, pres("bf"))
+	if !ok || tagsOf(d, []int32{c}) != "b" {
+		t.Fatalf("ReduceFollowing = %v,%v", c, ok)
+	}
+	// Max pre is f.
+	c, ok = ReducePreceding(d, pres("bf"))
+	if !ok || tagsOf(d, []int32{c}) != "f" {
+		t.Fatalf("ReducePreceding = %v,%v", c, ok)
+	}
+	if _, ok := ReduceFollowing(d, nil); ok {
+		t.Fatal("empty context should not reduce")
+	}
+}
+
+// randomDoc builds a random document with attributes for property tests.
+func randomDoc(rng *rand.Rand, n int) *doc.Document {
+	b := doc.NewBuilder()
+	b.OpenElem("root")
+	depth := 1
+	tags := []string{"p", "q", "r", "s"}
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			b.OpenElem(tags[rng.Intn(len(tags))])
+			for a := rng.Intn(3); a > 0; a-- {
+				b.Attr("k", "v")
+			}
+			depth++
+		case r < 7 && depth > 1:
+			b.CloseElem()
+			depth--
+		default:
+			b.Text("t")
+		}
+	}
+	for depth > 0 {
+		b.CloseElem()
+		depth--
+	}
+	d, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// randomContext draws a sorted duplicate-free context over d.
+func randomContext(rng *rand.Rand, d *doc.Document, k int) []int32 {
+	seen := map[int32]bool{}
+	for len(seen) < k && len(seen) < d.Size() {
+		seen[int32(rng.Intn(d.Size()))] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestPropJoinMatchesSpecOnRandomDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		d := randomDoc(rng, 200)
+		context := randomContext(rng, d, 1+rng.Intn(20))
+		for _, a := range []axis.Axis{axis.Descendant, axis.Ancestor, axis.Following, axis.Preceding} {
+			want := specJoin(d, a, context)
+			for _, o := range allVariants() {
+				got, err := Join(d, a, context, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !eq32(got, want) {
+					t.Fatalf("trial %d axis %v opts %+v:\n got %v\nwant %v\ncontext %v",
+						trial, a, o, got, want, context)
+				}
+			}
+		}
+	}
+}
+
+func TestPropResultDocumentOrderNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDoc(rng, 300)
+		context := randomContext(rng, d, 1+rng.Intn(30))
+		for _, a := range []axis.Axis{axis.Descendant, axis.Ancestor, axis.Following, axis.Preceding} {
+			got, err := Join(d, a, context, &Options{Variant: SkipEstimate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i-1] >= got[i] {
+					t.Fatalf("axis %v: result not strictly increasing at %d: %v", a, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestPropPrunedContextsAreStaircases(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDoc(rng, 250)
+		context := randomContext(rng, d, 1+rng.Intn(40))
+		if p := PruneDescendant(d, context); !IsStaircaseDesc(d, p) {
+			t.Fatalf("descendant prune is not a staircase: %v", p)
+		}
+		if p := PruneAncestor(d, context); !IsStaircaseDesc(d, p) {
+			t.Fatalf("ancestor prune is not a staircase: %v", p)
+		}
+	}
+}
+
+func TestPropPruningPreservesResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDoc(rng, 250)
+		context := randomContext(rng, d, 1+rng.Intn(40))
+		// The join over the pruned context equals the spec over the
+		// full context (pruning does not change the result, §3.1).
+		if want, got := specJoin(d, axis.Descendant, context),
+			DescendantJoin(d, PruneDescendant(d, context), &Options{Variant: Skip, AssumePruned: true}); !eq32(got, want) {
+			t.Fatalf("descendant pruning changed result")
+		}
+		if want, got := specJoin(d, axis.Ancestor, context),
+			AncestorJoin(d, PruneAncestor(d, context), &Options{Variant: Skip, AssumePruned: true}); !eq32(got, want) {
+			t.Fatalf("ancestor pruning changed result")
+		}
+	}
+}
+
+// TestSkipTouchBound verifies §3.3: with skipping, the descendant join
+// touches at most |result| + |context| document nodes.
+func TestSkipTouchBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDoc(rng, 400)
+		context := randomContext(rng, d, 1+rng.Intn(25))
+		var st Stats
+		res := DescendantJoin(d, context, &Options{Variant: Skip, Stats: &st, KeepAttributes: true})
+		if st.Scanned > int64(len(res))+int64(len(context)) {
+			t.Fatalf("trial %d: scanned %d > result %d + context %d",
+				trial, st.Scanned, len(res), len(context))
+		}
+	}
+}
+
+// TestEstimateComparisonBound verifies §4.2: estimation-based skipping
+// restricts post-rank comparisons to at most h × |pruned context| nodes.
+func TestEstimateComparisonBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDoc(rng, 400)
+		context := randomContext(rng, d, 1+rng.Intn(25))
+		var st Stats
+		DescendantJoin(d, context, &Options{Variant: SkipEstimate, Stats: &st, KeepAttributes: true})
+		bound := int64(d.Height()) * st.PrunedSize
+		if st.Compared > bound {
+			t.Fatalf("trial %d: compared %d > h*|context| = %d", trial, st.Compared, bound)
+		}
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 20; trial++ {
+		d := randomDoc(rng, 300)
+		context := randomContext(rng, d, 1+rng.Intn(20))
+		for _, v := range []Variant{NoSkip, Skip, SkipEstimate} {
+			var st Stats
+			res := DescendantJoin(d, context, &Options{Variant: v, Stats: &st})
+			if st.Scanned != st.Copied+st.Compared {
+				t.Fatalf("variant %v: scanned %d != copied %d + compared %d",
+					v, st.Scanned, st.Copied, st.Compared)
+			}
+			if st.Result != int64(len(res)) {
+				t.Fatalf("variant %v: result stat %d != len %d", v, st.Result, len(res))
+			}
+			if st.PrunedSize > st.ContextSize {
+				t.Fatalf("variant %v: pruned %d > context %d", v, st.PrunedSize, st.ContextSize)
+			}
+		}
+	}
+}
+
+// TestNoSkipScansMoreThanSkip pins the ordering the paper's Figure 11(c)
+// shows: scanned(noskip) >= scanned(skip) >= result size.
+func TestNoSkipScansMoreThanSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2222))
+	d := randomDoc(rng, 2000)
+	context := randomContext(rng, d, 15)
+	counts := map[Variant]int64{}
+	for _, v := range []Variant{NoSkip, Skip, SkipEstimate} {
+		var st Stats
+		DescendantJoin(d, context, &Options{Variant: v, Stats: &st, KeepAttributes: true})
+		counts[v] = st.Scanned
+	}
+	if counts[NoSkip] < counts[Skip] {
+		t.Fatalf("noskip scanned %d < skip scanned %d", counts[NoSkip], counts[Skip])
+	}
+	if counts[Skip] != counts[SkipEstimate] {
+		// Estimation changes *how* nodes are touched (copied vs
+		// compared), not how many.
+		t.Fatalf("skip scanned %d != estimate scanned %d", counts[Skip], counts[SkipEstimate])
+	}
+}
+
+func TestMergeOrSelf(t *testing.T) {
+	got := MergeOrSelf([]int32{1, 3, 5}, []int32{2, 3, 9})
+	want := []int32{1, 2, 3, 5, 9}
+	if !eq32(got, want) {
+		t.Fatalf("MergeOrSelf = %v, want %v", got, want)
+	}
+	if got := MergeOrSelf(nil, nil); len(got) != 0 {
+		t.Fatalf("MergeOrSelf(nil,nil) = %v", got)
+	}
+	if got := MergeOrSelf([]int32{4}, nil); !eq32(got, []int32{4}) {
+		t.Fatalf("MergeOrSelf = %v", got)
+	}
+}
+
+func TestAttributeContextNodes(t *testing.T) {
+	d, err := doc.ShredString(`<r a="1"><x b="2"><y/></x></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the attribute node b.
+	var attrB int32 = -1
+	for v := int32(0); int(v) < d.Size(); v++ {
+		if d.KindOf(v) == doc.Attr && d.Name(v) == "b" {
+			attrB = v
+		}
+	}
+	// ancestor of @b = (r, x).
+	got := AncestorJoin(d, []int32{attrB}, nil)
+	want := specJoin(d, axis.Ancestor, []int32{attrB})
+	if !eq32(got, want) {
+		t.Fatalf("ancestor of attr = %v, want %v", got, want)
+	}
+	// descendant of @b is empty.
+	if got := DescendantJoin(d, []int32{attrB}, nil); len(got) != 0 {
+		t.Fatalf("descendant of attr = %v, want empty", got)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if NoSkip.String() != "noskip" || Skip.String() != "skip" || SkipEstimate.String() != "skip-estimate" {
+		t.Fatal("variant names wrong")
+	}
+}

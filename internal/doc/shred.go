@@ -1,0 +1,131 @@
+package doc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ShredOption configures Shred / ShredCollection.
+type ShredOption func(*shredConfig)
+
+type shredConfig struct {
+	keepValues bool
+	keepSpace  bool
+	dict       *Dict
+}
+
+// ShredWithoutValues drops node string values during shredding.
+func ShredWithoutValues() ShredOption {
+	return func(c *shredConfig) { c.keepValues = false }
+}
+
+// ShredKeepWhitespace retains whitespace-only text nodes. By default
+// they are dropped (the usual setting for data-centric XML such as the
+// XMark documents of the paper's evaluation).
+func ShredKeepWhitespace() ShredOption {
+	return func(c *shredConfig) { c.keepSpace = true }
+}
+
+// ShredWithDict interns names into an existing dictionary.
+func ShredWithDict(d *Dict) ShredOption {
+	return func(c *shredConfig) { c.dict = d }
+}
+
+// Shred parses one XML document from r (stdlib encoding/xml) and loads
+// it into the pre/post plane. This is the "document loading" step of the
+// paper: the resulting table group is pre-sorted by construction and h
+// is computed on the fly.
+func Shred(r io.Reader, opts ...ShredOption) (*Document, error) {
+	cfg := shredConfig{keepValues: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var bopts []BuilderOption
+	if !cfg.keepValues {
+		bopts = append(bopts, WithoutValues())
+	}
+	if cfg.dict != nil {
+		bopts = append(bopts, WithDict(cfg.dict))
+	}
+	b := NewBuilder(bopts...)
+	if err := feed(b, r, cfg); err != nil {
+		return nil, err
+	}
+	return b.Done()
+}
+
+// ShredCollection parses several XML documents and gathers them under a
+// virtual root node, so that a single plane (and a single B-tree, as the
+// paper notes) serves the whole collection.
+func ShredCollection(readers []io.Reader, opts ...ShredOption) (*Document, error) {
+	cfg := shredConfig{keepValues: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	bopts := []BuilderOption{WithVirtualRoot()}
+	if !cfg.keepValues {
+		bopts = append(bopts, WithoutValues())
+	}
+	if cfg.dict != nil {
+		bopts = append(bopts, WithDict(cfg.dict))
+	}
+	b := NewBuilder(bopts...)
+	for i, r := range readers {
+		if err := feed(b, r, cfg); err != nil {
+			return nil, fmt.Errorf("document %d: %w", i, err)
+		}
+	}
+	return b.Done()
+}
+
+// ShredString is a convenience wrapper around Shred for literals/tests.
+func ShredString(s string, opts ...ShredOption) (*Document, error) {
+	return Shred(strings.NewReader(s), opts...)
+}
+
+// feed streams one document's tokens into the builder.
+func feed(b *Builder, r io.Reader, cfg shredConfig) error {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("doc: XML parse error: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.OpenElem(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue // namespace declarations are not attribute nodes
+				}
+				b.Attr(a.Name.Local, a.Value)
+			}
+		case xml.EndElement:
+			b.CloseElem()
+		case xml.CharData:
+			s := string(t)
+			if !cfg.keepSpace && strings.TrimSpace(s) == "" {
+				continue
+			}
+			b.Text(s)
+		case xml.Comment:
+			b.Comment(string(t))
+		case xml.ProcInst:
+			if t.Target == "xml" {
+				continue // XML declaration, not a PI node
+			}
+			b.PI(t.Target, string(t.Inst))
+		case xml.Directive:
+			// DOCTYPE etc.: no node in the XPath data model.
+		}
+		if b.Err() != nil {
+			return b.Err()
+		}
+	}
+	return b.Err()
+}

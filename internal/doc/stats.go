@@ -1,0 +1,93 @@
+package doc
+
+import "sort"
+
+// Stats summarises a document's structure. The query engine's cost
+// model (name-test pushdown, §6 of the paper) and the xmlgen CLI use
+// these numbers; they are computed in one pass.
+type Stats struct {
+	// Nodes is the total node count (== Size()).
+	Nodes int
+	// Per-kind counts.
+	Elements, Attributes, Texts, Comments, PIs int
+	// Height is the maximum level (h of Equation (1)).
+	Height int32
+	// AvgLevel is the mean node depth.
+	AvgLevel float64
+	// MaxFanout is the largest number of children (attributes
+	// excluded) of any element.
+	MaxFanout int
+	// DistinctTags is the number of distinct element/attribute names.
+	DistinctTags int
+	// TagCounts maps element tag names to their element counts, the
+	// selectivity table behind name-test pushdown decisions.
+	TagCounts map[string]int
+}
+
+// ComputeStats builds the statistics in a single scan.
+func (d *Document) ComputeStats() Stats {
+	st := Stats{
+		Nodes:        d.Size(),
+		Height:       d.height,
+		DistinctTags: d.names.Len(),
+		TagCounts:    make(map[string]int),
+	}
+	fanout := make(map[int32]int)
+	var levelSum int64
+	for v := 0; v < d.Size(); v++ {
+		levelSum += int64(d.level[v])
+		switch d.kind[v] {
+		case Elem:
+			st.Elements++
+			st.TagCounts[d.Name(int32(v))]++
+			if p := d.parent[v]; p != NoParent {
+				fanout[p]++
+			}
+		case Attr:
+			st.Attributes++
+		case Text:
+			st.Texts++
+			if p := d.parent[v]; p != NoParent {
+				fanout[p]++
+			}
+		case Comment:
+			st.Comments++
+		case PI:
+			st.PIs++
+		}
+	}
+	for _, f := range fanout {
+		if f > st.MaxFanout {
+			st.MaxFanout = f
+		}
+	}
+	if d.Size() > 0 {
+		st.AvgLevel = float64(levelSum) / float64(d.Size())
+	}
+	return st
+}
+
+// TopTags returns the n most frequent element tags with their counts,
+// most frequent first (ties broken alphabetically, deterministic).
+func (s Stats) TopTags(n int) []TagCount {
+	out := make([]TagCount, 0, len(s.TagCounts))
+	for tag, c := range s.TagCounts {
+		out = append(out, TagCount{tag, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// TagCount pairs a tag name with its occurrence count.
+type TagCount struct {
+	Tag   string
+	Count int
+}

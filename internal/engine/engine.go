@@ -1,0 +1,485 @@
+// Package engine evaluates XPath location paths over pre/post encoded
+// documents, with the staircase join as the axis-step workhorse.
+//
+// The engine plays the role of the paper's query processor above the
+// kernel: it compiles each location step into (1) an axis evaluation —
+// a staircase join for the four partitioning axes, positional/parent
+// lookups for the remaining axes — and (2) node-test and predicate
+// filters. A per-step strategy knob selects between the staircase join
+// variants and the tree-unaware baselines, which is exactly the
+// comparison matrix of the paper's Experiments 1–3.
+//
+// Name-test pushdown (§4.4): for a step like ancestor::bidder the
+// engine may rewrite
+//
+//	nametest(staircasejoin_anc(doc, cs), "bidder")
+//	  -> staircasejoin_anc(nametest(doc, "bidder"), cs)
+//
+// running the join over the (much smaller) tag node list. A simple
+// selectivity heuristic decides automatically — the cost-model stub the
+// paper lists as future research — and can be overridden for ablation.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"staircase/internal/axis"
+	"staircase/internal/baseline"
+	"staircase/internal/core"
+	"staircase/internal/doc"
+	"staircase/internal/xpath"
+)
+
+// Strategy selects the axis-step algorithm for partitioning axes.
+type Strategy uint8
+
+const (
+	// Staircase is the paper's full configuration: staircase join with
+	// estimation-based skipping.
+	Staircase Strategy = iota
+	// StaircaseSkip uses plain skipping (Algorithm 3).
+	StaircaseSkip
+	// StaircaseNoSkip uses the basic algorithm (Algorithm 2).
+	StaircaseNoSkip
+	// Naive evaluates one region query per context node and removes
+	// duplicates afterwards (Experiment 1's strawman).
+	Naive
+	// SQL mimics the tree-unaware indexed plan of Figure 3.
+	SQL
+	// SQLWindow is SQL plus the Equation (1) window predicate (§2.1).
+	SQLWindow
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Staircase:
+		return "staircase"
+	case StaircaseSkip:
+		return "staircase-skip"
+	case StaircaseNoSkip:
+		return "staircase-noskip"
+	case Naive:
+		return "naive"
+	case SQL:
+		return "sql"
+	case SQLWindow:
+		return "sql-window"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Pushdown controls name-test pushdown for staircase strategies.
+type Pushdown uint8
+
+const (
+	// PushAuto decides by tag selectivity (the cost-model heuristic).
+	PushAuto Pushdown = iota
+	// PushAlways forces pushdown whenever a name test is present.
+	PushAlways
+	// PushNever evaluates the join first and filters afterwards.
+	PushNever
+)
+
+// String names the pushdown mode.
+func (p Pushdown) String() string {
+	switch p {
+	case PushAuto:
+		return "auto"
+	case PushAlways:
+		return "always"
+	case PushNever:
+		return "never"
+	default:
+		return fmt.Sprintf("Pushdown(%d)", uint8(p))
+	}
+}
+
+// Options configures evaluation. The zero value is the paper default:
+// full staircase join with automatic pushdown.
+type Options struct {
+	Strategy Strategy
+	Pushdown Pushdown
+}
+
+// StepReport records per-step evaluation statistics.
+type StepReport struct {
+	// Step is the canonical rendering of the location step.
+	Step string
+	// Axis of the step.
+	Axis axis.Axis
+	// InputSize and OutputSize are the context and result sequence
+	// lengths (after predicates).
+	InputSize, OutputSize int
+	// Pushed reports whether the name test was pushed below the join.
+	Pushed bool
+	// Core holds staircase join work counters (staircase strategies,
+	// partitioning axes only).
+	Core core.Stats
+	// Naive holds naive-strategy counters.
+	Naive baseline.NaiveStats
+	// Duration is the wall-clock time of the step.
+	Duration time.Duration
+}
+
+// Result is the outcome of a path evaluation.
+type Result struct {
+	// Nodes is the result sequence: pre ranks in document order,
+	// duplicate-free (XPath node-sequence semantics).
+	Nodes []int32
+	// Steps reports per-step statistics in evaluation order.
+	Steps []StepReport
+}
+
+// Engine evaluates XPath paths over one document. Engines are safe for
+// concurrent use.
+type Engine struct {
+	d *doc.Document
+
+	mu       sync.Mutex
+	sql      *baseline.SQLEngine
+	tagLists map[int32][]int32
+}
+
+// New returns an engine over the document.
+func New(d *doc.Document) *Engine {
+	return &Engine{d: d, tagLists: make(map[int32][]int32)}
+}
+
+// Document returns the engine's document.
+func (e *Engine) Document() *doc.Document { return e.d }
+
+// sqlEngine lazily builds the B-tree indexes of the SQL baseline.
+func (e *Engine) sqlEngine() *baseline.SQLEngine {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sql == nil {
+		e.sql = baseline.NewSQLEngine(e.d)
+	}
+	return e.sql
+}
+
+// TagList returns the pre-sorted list of element nodes carrying the
+// given name id — the nametest(doc, n) fragment of §4.4. Lists are
+// built on first use and cached.
+func (e *Engine) TagList(nameID int32) []int32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if l, ok := e.tagLists[nameID]; ok {
+		return l
+	}
+	kind := e.d.KindSlice()
+	name := e.d.NameSlice()
+	var list []int32
+	for v := 0; v < e.d.Size(); v++ {
+		if kind[v] == doc.Elem && name[v] == nameID {
+			list = append(list, int32(v))
+		}
+	}
+	e.tagLists[nameID] = list
+	return list
+}
+
+// EvalString parses and evaluates a query (a location path, or a union
+// of paths combined with '|'). Absolute paths start at the document
+// root; relative paths are evaluated with the root as the initial
+// context node as well (the conventional CLI behaviour).
+func (e *Engine) EvalString(query string, opts *Options) (*Result, error) {
+	q, err := xpath.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.EvalQuery(q, []int32{e.d.Root()}, opts)
+}
+
+// EvalQuery evaluates a union of paths: each path runs independently
+// and the node sets merge into one document-ordered duplicate-free
+// sequence (XPath '|' semantics). Step reports concatenate in path
+// order.
+func (e *Engine) EvalQuery(q xpath.Query, context []int32, opts *Options) (*Result, error) {
+	if len(q.Paths) == 1 {
+		return e.Eval(q.Paths[0], context, opts)
+	}
+	res := &Result{}
+	for _, p := range q.Paths {
+		r, err := e.Eval(p, context, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Nodes = core.MergeOrSelf(res.Nodes, r.Nodes)
+		res.Steps = append(res.Steps, r.Steps...)
+	}
+	return res, nil
+}
+
+// Eval evaluates a parsed path against an initial context sequence
+// (document order, duplicate free). Absolute paths reset the context to
+// the document root.
+func (e *Engine) Eval(p xpath.Path, context []int32, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	cur := context
+	if p.Absolute {
+		cur = []int32{e.d.Root()}
+	}
+	res := &Result{}
+	for i, step := range p.Steps {
+		rep := StepReport{Step: step.String(), Axis: step.Axis, InputSize: len(cur)}
+		start := time.Now()
+		var next []int32
+		var err error
+		if i == 0 && p.Absolute && e.d.KindOf(e.d.Root()) != doc.VRoot {
+			// XPath's "/" denotes the document node above the root
+			// element, which the encoding does not materialise (a
+			// virtual root of a collection plays that role when
+			// present). Give the first step document-node semantics.
+			next, err = e.evalDocRootStep(step, opts, &rep)
+		} else {
+			next, err = e.evalStep(step, cur, opts, &rep)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep.Duration = time.Since(start)
+		rep.OutputSize = len(next)
+		res.Steps = append(res.Steps, rep)
+		cur = next
+	}
+	res.Nodes = cur
+	return res, nil
+}
+
+// evalDocRootStep evaluates the first step of an absolute path against
+// the implicit document node: its only child is the root element, its
+// descendants are all nodes including the root element, and every other
+// axis is empty from there.
+func (e *Engine) evalDocRootStep(step xpath.Step, opts *Options, rep *StepReport) ([]int32, error) {
+	root := e.d.Root()
+	var nodes []int32
+	var err error
+	switch step.Axis {
+	case axis.Child:
+		nodes = e.filterTest(step.Axis, step.Test, []int32{root})
+	case axis.Descendant, axis.DescendantOrSelf:
+		nodes, err = e.evalAxisTest(axis.DescendantOrSelf, step.Test, []int32{root}, opts, rep)
+		if err != nil {
+			return nil, err
+		}
+	case axis.Self, axis.AncestorOrSelf:
+		if step.Test.Kind == xpath.TestNode {
+			nodes = []int32{root} // stand-in for the document node
+		}
+	default:
+		// ancestor, parent, siblings, following, preceding, attribute,
+		// namespace: empty from the document node.
+	}
+	if step.Axis.Reverse() {
+		for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+			nodes[i], nodes[j] = nodes[j], nodes[i]
+		}
+	}
+	for _, pred := range step.Preds {
+		nodes, err = e.applyPredPositional(nodes, pred, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sortDedup(nodes), nil
+}
+
+// evalStep evaluates one location step including predicates.
+func (e *Engine) evalStep(step xpath.Step, context []int32, opts *Options, rep *StepReport) ([]int32, error) {
+	if hasPositional(step.Preds) {
+		return e.evalStepPositional(step, context, opts, rep)
+	}
+	nodes, err := e.evalAxisTest(step.Axis, step.Test, context, opts, rep)
+	if err != nil {
+		return nil, err
+	}
+	for _, pred := range step.Preds {
+		nodes, err = e.filterPred(nodes, pred, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}
+
+// hasPositional reports whether any predicate (also inside not(...))
+// is position-sensitive, requiring per-context evaluation.
+func hasPositional(preds []xpath.Predicate) bool {
+	for _, p := range preds {
+		switch q := p.(type) {
+		case xpath.Position, xpath.Last:
+			return true
+		case xpath.Not:
+			if hasPositional([]xpath.Predicate{q.Inner}) {
+				return true
+			}
+		case xpath.And:
+			if hasPositional(q.Preds) {
+				return true
+			}
+		case xpath.Or:
+			if hasPositional(q.Preds) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// evalStepPositional evaluates the step context node by context node,
+// maintaining XPath proximity positions (reverse axes count backwards).
+func (e *Engine) evalStepPositional(step xpath.Step, context []int32, opts *Options, rep *StepReport) ([]int32, error) {
+	var all []int32
+	for _, c := range context {
+		nodes, err := e.evalAxisTest(step.Axis, step.Test, []int32{c}, opts, rep)
+		if err != nil {
+			return nil, err
+		}
+		if step.Axis.Reverse() {
+			for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+			}
+		}
+		for _, pred := range step.Preds {
+			nodes, err = e.applyPredPositional(nodes, pred, opts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		all = append(all, nodes...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out := all[:0]
+	for i, v := range all {
+		if i > 0 && v == all[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return append([]int32(nil), out...), nil
+}
+
+// applyPredPositional applies one predicate to an axis-ordered node
+// sequence of a single context node, maintaining proximity positions:
+// each node is tested with its 1-based position and the sequence size
+// (XPath semantics; subsequent predicates see renumbered sequences).
+func (e *Engine) applyPredPositional(nodes []int32, pred xpath.Predicate, opts *Options) ([]int32, error) {
+	var out []int32
+	for i, v := range nodes {
+		ok, err := e.predHoldsAt(v, pred, i+1, len(nodes), opts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// predHoldsAt decides any predicate for a node at a known proximity
+// position.
+func (e *Engine) predHoldsAt(v int32, pred xpath.Predicate, pos, size int, opts *Options) (bool, error) {
+	switch p := pred.(type) {
+	case xpath.Position:
+		return pos == p.N, nil
+	case xpath.Last:
+		return pos == size, nil
+	case xpath.Not:
+		ok, err := e.predHoldsAt(v, p.Inner, pos, size, opts)
+		return !ok, err
+	case xpath.And:
+		for _, q := range p.Preds {
+			ok, err := e.predHoldsAt(v, q, pos, size, opts)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case xpath.Or:
+		for _, q := range p.Preds {
+			ok, err := e.predHoldsAt(v, q, pos, size, opts)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return e.predHolds(v, pred, opts)
+	}
+}
+
+// filterPred filters a document-ordered node set by a non-positional
+// predicate.
+func (e *Engine) filterPred(nodes []int32, pred xpath.Predicate, opts *Options) ([]int32, error) {
+	out := nodes[:0]
+	for _, v := range nodes {
+		ok, err := e.predHolds(v, pred, opts)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// predHolds decides a non-positional predicate for one candidate node.
+func (e *Engine) predHolds(v int32, pred xpath.Predicate, opts *Options) (bool, error) {
+	switch p := pred.(type) {
+	case xpath.Exists:
+		r, err := e.Eval(p.Path, []int32{v}, opts)
+		if err != nil {
+			return false, err
+		}
+		return len(r.Nodes) > 0, nil
+	case xpath.Compare:
+		r, err := e.Eval(p.Path, []int32{v}, opts)
+		if err != nil {
+			return false, err
+		}
+		for _, n := range r.Nodes {
+			s := e.d.StringValue(n)
+			if (p.Op == xpath.OpEq && s == p.Literal) || (p.Op == xpath.OpNe && s != p.Literal) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case xpath.Not:
+		ok, err := e.predHolds(v, p.Inner, opts)
+		return !ok, err
+	case xpath.And:
+		for _, q := range p.Preds {
+			ok, err := e.predHolds(v, q, opts)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case xpath.Or:
+		for _, q := range p.Preds {
+			ok, err := e.predHolds(v, q, opts)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("engine: unsupported predicate %T in set mode", pred)
+	}
+}

@@ -1,0 +1,498 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"staircase/internal/axis"
+	"staircase/internal/doc"
+	"staircase/internal/xpath"
+)
+
+// allStrategies is the engine comparison matrix.
+var allStrategies = []Strategy{Staircase, StaircaseSkip, StaircaseNoSkip, Naive, SQL, SQLWindow}
+
+func shred(t testing.TB, s string) *doc.Document {
+	t.Helper()
+	d, err := doc.ShredString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// specEval is a brute-force reference evaluator: axis.In over all node
+// pairs, node tests and predicates applied literally.
+func specEval(d *doc.Document, p xpath.Path, context []int32) []int32 {
+	cur := context
+	if p.Absolute {
+		cur = []int32{d.Root()}
+	}
+	for i, step := range p.Steps {
+		if i == 0 && p.Absolute && d.KindOf(d.Root()) != doc.VRoot {
+			cur = specDocRootStep(d, step)
+			continue
+		}
+		cur = specStep(d, step, cur)
+	}
+	return cur
+}
+
+// specDocRootStep mirrors the engine's document-node semantics for the
+// first step of an absolute path.
+func specDocRootStep(d *doc.Document, step xpath.Step) []int32 {
+	var nodes []int32
+	switch step.Axis {
+	case axis.Child:
+		if specTest(d, step.Axis, step.Test, d.Root()) {
+			nodes = []int32{d.Root()}
+		}
+	case axis.Descendant, axis.DescendantOrSelf:
+		for v := int32(0); int(v) < d.Size(); v++ {
+			if d.KindOf(v) != doc.Attr && specTest(d, step.Axis, step.Test, v) {
+				nodes = append(nodes, v)
+			}
+		}
+	case axis.Self, axis.AncestorOrSelf:
+		if step.Test.Kind == xpath.TestNode {
+			nodes = []int32{d.Root()}
+		}
+	}
+	for _, pred := range step.Preds {
+		var kept []int32
+		for i, v := range nodes {
+			if specPred(d, v, pred, i+1, len(nodes)) {
+				kept = append(kept, v)
+			}
+		}
+		nodes = kept
+	}
+	return nodes
+}
+
+func specStep(d *doc.Document, step xpath.Step, context []int32) []int32 {
+	var all []int32
+	for _, c := range context {
+		var nodes []int32
+		for v := int32(0); int(v) < d.Size(); v++ {
+			if axis.In(d, step.Axis, c, v) && specTest(d, step.Axis, step.Test, v) {
+				nodes = append(nodes, v)
+			}
+		}
+		if step.Axis.Reverse() {
+			for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+			}
+		}
+		for _, pred := range step.Preds {
+			var kept []int32
+			for i, v := range nodes {
+				if specPred(d, v, pred, i+1, len(nodes)) {
+					kept = append(kept, v)
+				}
+			}
+			nodes = kept
+		}
+		all = append(all, nodes...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var out []int32
+	for i, v := range all {
+		if i > 0 && v == all[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func specTest(d *doc.Document, a axis.Axis, test xpath.NodeTest, v int32) bool {
+	principal := doc.Elem
+	if a == axis.Attribute {
+		principal = doc.Attr
+	}
+	k := d.KindOf(v)
+	switch test.Kind {
+	case xpath.TestName:
+		return k == principal && d.Name(v) == test.Name
+	case xpath.TestAny:
+		return k == principal
+	case xpath.TestNode:
+		return true
+	case xpath.TestText:
+		return k == doc.Text
+	case xpath.TestComment:
+		return k == doc.Comment
+	case xpath.TestPI:
+		return k == doc.PI && (test.Name == "" || d.Name(v) == test.Name)
+	}
+	return false
+}
+
+func specPred(d *doc.Document, v int32, pred xpath.Predicate, pos, size int) bool {
+	switch p := pred.(type) {
+	case xpath.Position:
+		return pos == p.N
+	case xpath.Last:
+		return pos == size
+	case xpath.Exists:
+		return len(specEval(d, p.Path, []int32{v})) > 0
+	case xpath.Compare:
+		for _, n := range specEval(d, p.Path, []int32{v}) {
+			s := d.StringValue(n)
+			if (p.Op == xpath.OpEq && s == p.Literal) || (p.Op == xpath.OpNe && s != p.Literal) {
+				return true
+			}
+		}
+		return false
+	case xpath.Not:
+		return !specPred(d, v, p.Inner, pos, size)
+	case xpath.And:
+		for _, q := range p.Preds {
+			if !specPred(d, v, q, pos, size) {
+				return false
+			}
+		}
+		return true
+	case xpath.Or:
+		for _, q := range p.Preds {
+			if specPred(d, v, q, pos, size) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func eq32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fixtureXML is a small auction-flavoured document exercising every
+// query feature: nesting, attributes, text, repeated tags.
+const fixtureXML = `
+<site>
+  <people>
+    <person id="p1"><name>Alice</name><profile><education>BSc</education><age>30</age></profile></person>
+    <person id="p2"><name>Bob</name><profile><age>41</age></profile></person>
+    <person id="p3"><name>Carol</name><profile><education>PhD</education></profile></person>
+  </people>
+  <open_auctions>
+    <open_auction id="a1">
+      <bidder><increase>5</increase></bidder>
+      <bidder><increase>10</increase></bidder>
+      <current>15</current>
+    </open_auction>
+    <open_auction id="a2">
+      <current>0</current>
+    </open_auction>
+  </open_auctions>
+</site>`
+
+func fixture(t testing.TB) *doc.Document {
+	return shred(t, fixtureXML)
+}
+
+var fixtureQueries = []string{
+	"/descendant::profile/descendant::education",
+	"/descendant::increase/ancestor::bidder",
+	"/descendant::bidder[descendant::increase]",
+	"//person[profile/education]/name",
+	"//open_auction[not(descendant::bidder)]",
+	"/site/people/person[@id = 'p2']/name",
+	"//person[position()=2]",
+	"//bidder[last()]",
+	"//increase/ancestor-or-self::node()",
+	"//education/preceding::person",
+	"//person[1]/following::open_auction",
+	"//name[. != 'Bob']",
+	"//profile/parent::person",
+	"//person/child::*",
+	"//bidder/following-sibling::bidder",
+	"//current/preceding-sibling::node()",
+	"//person/attribute::id",
+	"//person/@id",
+	"/descendant-or-self::increase",
+	"//people/descendant::text()",
+	"//person[name = 'Carol']/descendant::education",
+	"//nosuchtag/descendant::a",
+	"//person[profile and name]",
+	"//open_auction[bidder or current]/@id",
+	"//person[name = 'Alice' or name = 'Bob']/name",
+	"//person[profile and not(profile/education)]",
+	"//bidder[position()=1 or last()]",
+	"//person[name and position()=2]",
+}
+
+func TestEngineMatchesSpecOnFixture(t *testing.T) {
+	d := fixture(t)
+	for _, q := range fixtureQueries {
+		p, err := xpath.Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want := specEval(d, p, []int32{0})
+		for _, s := range allStrategies {
+			for _, push := range []Pushdown{PushAuto, PushAlways, PushNever} {
+				e := New(d)
+				got, err := e.EvalString(q, &Options{Strategy: s, Pushdown: push})
+				if err != nil {
+					t.Fatalf("%s [%v/%v]: %v", q, s, push, err)
+				}
+				if !eq32(got.Nodes, want) {
+					t.Fatalf("%s [%v/%v]:\n got %v\nwant %v", q, s, push, got.Nodes, want)
+				}
+			}
+		}
+	}
+}
+
+func randomDoc(rng *rand.Rand, n int) *doc.Document {
+	b := doc.NewBuilder()
+	b.OpenElem("root")
+	depth := 1
+	tags := []string{"p", "q", "r", "s"}
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			b.OpenElem(tags[rng.Intn(len(tags))])
+			if rng.Intn(4) == 0 {
+				b.Attr("k", "v")
+			}
+			depth++
+		case r < 7 && depth > 1:
+			b.CloseElem()
+			depth--
+		default:
+			b.Text("t")
+		}
+	}
+	for depth > 0 {
+		b.CloseElem()
+		depth--
+	}
+	d, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+var randomQueries = []string{
+	"/descendant::p/descendant::q",
+	"/descendant::q/ancestor::p",
+	"//p//q",
+	"//p[q]/r",
+	"//q/following::r",
+	"//r/preceding::q",
+	"//p/child::q/child::r",
+	"//q[2]",
+	"//p[last()]/descendant::text()",
+	"//p/ancestor-or-self::p",
+	"//q/@k",
+	"//p[not(q)]",
+	"//r/parent::node()",
+	"//p/following-sibling::q",
+	"//s/preceding-sibling::*",
+}
+
+func TestEngineMatchesSpecOnRandomDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 8; trial++ {
+		d := randomDoc(rng, 150)
+		e := New(d)
+		for _, q := range randomQueries {
+			p, err := xpath.Parse(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := specEval(d, p, []int32{0})
+			for _, s := range allStrategies {
+				got, err := e.EvalString(q, &Options{Strategy: s})
+				if err != nil {
+					t.Fatalf("%s [%v]: %v", q, s, err)
+				}
+				if !eq32(got.Nodes, want) {
+					t.Fatalf("trial %d %s [%v]:\n got %v\nwant %v", trial, q, s, got.Nodes, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineStepReports(t *testing.T) {
+	d := fixture(t)
+	e := New(d)
+	res, err := e.EvalString("/descendant::increase/ancestor::bidder", &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	s0, s1 := res.Steps[0], res.Steps[1]
+	if s0.Axis != axis.Descendant || s1.Axis != axis.Ancestor {
+		t.Fatalf("axes = %v, %v", s0.Axis, s1.Axis)
+	}
+	if s0.InputSize != 1 || s0.OutputSize != 2 {
+		t.Fatalf("step 0 sizes = %d -> %d", s0.InputSize, s0.OutputSize)
+	}
+	if s1.InputSize != 2 || s1.OutputSize != 2 {
+		t.Fatalf("step 1 sizes = %d -> %d", s1.InputSize, s1.OutputSize)
+	}
+	if s0.Core.Scanned == 0 {
+		t.Fatal("staircase stats not collected")
+	}
+}
+
+func TestEnginePushdownFlagAndEquivalence(t *testing.T) {
+	d := fixture(t)
+	e := New(d)
+	always, err := e.EvalString("/descendant::increase", &Options{Pushdown: PushAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	never, err := e.EvalString("/descendant::increase", &Options{Pushdown: PushNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !always.Steps[0].Pushed {
+		t.Fatal("PushAlways did not push")
+	}
+	if never.Steps[0].Pushed {
+		t.Fatal("PushNever pushed")
+	}
+	if !eq32(always.Nodes, never.Nodes) {
+		t.Fatal("pushdown changed the result")
+	}
+}
+
+func TestEngineRelativeEval(t *testing.T) {
+	d := fixture(t)
+	e := New(d)
+	people, err := e.EvalString("//person", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(people.Nodes) != 3 {
+		t.Fatalf("persons = %d", len(people.Nodes))
+	}
+	names, err := e.Eval(xpath.MustParse("name"), people.Nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names.Nodes) != 3 {
+		t.Fatalf("names = %d", len(names.Nodes))
+	}
+	var got []string
+	for _, n := range names.Nodes {
+		got = append(got, d.StringValue(n))
+	}
+	if strings.Join(got, ",") != "Alice,Bob,Carol" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestEngineTagListCachedAndSorted(t *testing.T) {
+	d := fixture(t)
+	e := New(d)
+	id, ok := d.Names().Lookup("person")
+	if !ok {
+		t.Fatal("person not interned")
+	}
+	l1 := e.TagList(id)
+	l2 := e.TagList(id)
+	if &l1[0] != &l2[0] {
+		t.Fatal("tag list not cached")
+	}
+	if !sort.SliceIsSorted(l1, func(i, j int) bool { return l1[i] < l1[j] }) {
+		t.Fatal("tag list unsorted")
+	}
+	if len(l1) != 3 {
+		t.Fatalf("person list = %v", l1)
+	}
+}
+
+func TestEngineUnionQueries(t *testing.T) {
+	d := fixture(t)
+	e := New(d)
+	cases := []struct {
+		union string
+		parts []string
+	}{
+		{"//education | //increase", []string{"//education", "//increase"}},
+		{"//name | //person/@id | //current", []string{"//name", "//person/@id", "//current"}},
+		{"//bidder | //bidder", []string{"//bidder"}}, // duplicates merge away
+	}
+	for _, tc := range cases {
+		var want []int32
+		for _, part := range tc.parts {
+			p, err := xpath.Parse(part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range specEval(d, p, []int32{0}) {
+				want = append(want, v)
+			}
+		}
+		want = dedupSorted(want)
+		got, err := e.EvalString(tc.union, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.union, err)
+		}
+		if !eq32(got.Nodes, want) {
+			t.Fatalf("%s:\n got %v\nwant %v", tc.union, got.Nodes, want)
+		}
+	}
+}
+
+func dedupSorted(nodes []int32) []int32 {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	out := nodes[:0]
+	for i, v := range nodes {
+		if i > 0 && v == nodes[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestEngineParseError(t *testing.T) {
+	e := New(fixture(t))
+	if _, err := e.EvalString("///", nil); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestEngineNamespaceAxisEmpty(t *testing.T) {
+	e := New(fixture(t))
+	res, err := e.EvalString("/namespace::node()", nil)
+	if err != nil || len(res.Nodes) != 0 {
+		t.Fatalf("namespace axis: %v, %v", res, err)
+	}
+}
+
+func TestStrategyAndPushdownStrings(t *testing.T) {
+	for _, s := range allStrategies {
+		if s.String() == "" || strings.HasPrefix(s.String(), "Strategy(") {
+			t.Errorf("missing name for strategy %d", s)
+		}
+	}
+	for _, p := range []Pushdown{PushAuto, PushAlways, PushNever} {
+		if p.String() == "" || strings.HasPrefix(p.String(), "Pushdown(") {
+			t.Errorf("missing name for pushdown %d", p)
+		}
+	}
+}

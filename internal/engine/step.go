@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"staircase/internal/axis"
+	"staircase/internal/baseline"
+	"staircase/internal/core"
+	"staircase/internal/doc"
+	"staircase/internal/xpath"
+)
+
+// evalAxisTest evaluates axis::nodetest for the whole context.
+func (e *Engine) evalAxisTest(a axis.Axis, test xpath.NodeTest, context []int32, opts *Options, rep *StepReport) ([]int32, error) {
+	switch a {
+	case axis.Descendant, axis.Ancestor, axis.Following, axis.Preceding:
+		return e.evalPartitioning(a, test, context, opts, rep)
+	case axis.DescendantOrSelf, axis.AncestorOrSelf:
+		base := axis.Descendant
+		if a == axis.AncestorOrSelf {
+			base = axis.Ancestor
+		}
+		nodes, err := e.evalPartitioning(base, test, context, opts, rep)
+		if err != nil {
+			return nil, err
+		}
+		selfPart := e.filterTest(a, test, append([]int32(nil), context...))
+		return core.MergeOrSelf(nodes, selfPart), nil
+	case axis.Child:
+		var out []int32
+		for _, c := range context {
+			out = append(out, e.d.Children(c)...)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return e.filterTest(a, test, out), nil
+	case axis.Parent:
+		var out []int32
+		for _, c := range context {
+			if p := e.d.Parent(c); p != doc.NoParent {
+				out = append(out, p)
+			}
+		}
+		out = sortDedup(out)
+		return e.filterTest(a, test, out), nil
+	case axis.Self:
+		return e.filterTest(a, test, append([]int32(nil), context...)), nil
+	case axis.Attribute:
+		var out []int32
+		for _, c := range context {
+			out = append(out, e.d.Attributes(c)...)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return e.filterTest(a, test, out), nil
+	case axis.FollowingSibling:
+		var out []int32
+		for _, c := range context {
+			for s := e.d.FollowingSibling(c); s != -1; s = e.d.FollowingSibling(s) {
+				out = append(out, s)
+			}
+		}
+		out = sortDedup(out)
+		return e.filterTest(a, test, out), nil
+	case axis.PrecedingSibling:
+		var out []int32
+		for _, c := range context {
+			p := e.d.Parent(c)
+			if p == doc.NoParent {
+				continue
+			}
+			for _, s := range e.d.Children(p) {
+				if s >= c {
+					break
+				}
+				out = append(out, s)
+			}
+		}
+		out = sortDedup(out)
+		return e.filterTest(a, test, out), nil
+	case axis.Namespace:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported axis %v", a)
+	}
+}
+
+// evalPartitioning evaluates one of the four partitioning axes with the
+// configured strategy, applying the name test before or after the join.
+func (e *Engine) evalPartitioning(a axis.Axis, test xpath.NodeTest, context []int32, opts *Options, rep *StepReport) ([]int32, error) {
+	switch opts.Strategy {
+	case Staircase, StaircaseSkip, StaircaseNoSkip:
+		co := &core.Options{Variant: coreVariant(opts.Strategy)}
+		if rep != nil {
+			co.Stats = &rep.Core
+		}
+		if test.Kind == xpath.TestName && e.shouldPush(a, test.Name, context, opts.Pushdown) {
+			id, ok := e.d.Names().Lookup(test.Name)
+			if !ok {
+				return nil, nil // tag absent: empty result
+			}
+			if rep != nil {
+				rep.Pushed = true
+			}
+			return core.JoinNodeList(e.d, a, e.TagList(id), context, co)
+		}
+		nodes, err := core.Join(e.d, a, context, co)
+		if err != nil {
+			return nil, err
+		}
+		return e.filterTest(a, test, nodes), nil
+	case Naive:
+		var nst *baseline.NaiveStats
+		if rep != nil {
+			nst = &rep.Naive
+		}
+		nodes := baseline.NaiveJoin(e.d, a, context, nst)
+		return e.filterTest(a, test, nodes), nil
+	case SQL, SQLWindow:
+		so := baseline.SQLOptions{UseWindow: opts.Strategy == SQLWindow}
+		if test.Kind == xpath.TestName {
+			// The paper's DB2 observation: the B-tree uses concatenated
+			// (pre, post, tag name) keys, so the name test is early.
+			so.Tag = test.Name
+			if rep != nil {
+				rep.Pushed = true
+			}
+			return e.sqlEngine().Step(a, context, so)
+		}
+		nodes, err := e.sqlEngine().Step(a, context, so)
+		if err != nil {
+			return nil, err
+		}
+		return e.filterTest(a, test, nodes), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %v", opts.Strategy)
+	}
+}
+
+// coreVariant maps engine strategies to staircase join variants.
+func coreVariant(s Strategy) core.Variant {
+	switch s {
+	case StaircaseNoSkip:
+		return core.NoSkip
+	case StaircaseSkip:
+		return core.Skip
+	default:
+		return core.SkipEstimate
+	}
+}
+
+// shouldPush decides name-test pushdown: forced by PushAlways/PushNever,
+// otherwise delegated to the cost model (cost.go).
+func (e *Engine) shouldPush(a axis.Axis, tag string, context []int32, mode Pushdown) bool {
+	switch mode {
+	case PushAlways:
+		return true
+	case PushNever:
+		return false
+	default:
+		return e.costPushdown(a, tag, context)
+	}
+}
+
+// filterTest filters nodes by the node test in place (the slice is
+// reused) and returns the filtered prefix.
+func (e *Engine) filterTest(a axis.Axis, test xpath.NodeTest, nodes []int32) []int32 {
+	principal := doc.Elem
+	if a == axis.Attribute {
+		principal = doc.Attr
+	}
+	out := nodes[:0]
+	for _, v := range nodes {
+		k := e.d.KindOf(v)
+		// Axis-level kind filtering for axes evaluated outside the
+		// staircase join (child, self, siblings): attributes appear
+		// only on the attribute axis.
+		if a != axis.Attribute && k == doc.Attr {
+			continue
+		}
+		switch test.Kind {
+		case xpath.TestName:
+			if k == principal && e.d.Name(v) == test.Name {
+				out = append(out, v)
+			}
+		case xpath.TestAny:
+			if k == principal {
+				out = append(out, v)
+			}
+		case xpath.TestNode:
+			out = append(out, v)
+		case xpath.TestText:
+			if k == doc.Text {
+				out = append(out, v)
+			}
+		case xpath.TestComment:
+			if k == doc.Comment {
+				out = append(out, v)
+			}
+		case xpath.TestPI:
+			if k == doc.PI && (test.Name == "" || e.d.Name(v) == test.Name) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// sortDedup sorts a pre-rank slice and removes duplicates in place.
+func sortDedup(nodes []int32) []int32 {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	out := nodes[:0]
+	for i, v := range nodes {
+		if i > 0 && v == nodes[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

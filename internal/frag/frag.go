@@ -1,0 +1,266 @@
+// Package frag implements the two extensions the staircase join paper
+// sketches under Future Research (§6):
+//
+//   - Fragmentation by tag name: "An interesting strategy is to
+//     fragment by tag name. First experiments are encouraging: the
+//     execution time of Q1 could be brought down from 345 ms to 39 ms."
+//     A Store keeps, for every tag, the pre-sorted list of its element
+//     nodes (built in one pass at load time); axis steps with name
+//     tests run the staircase join directly over the fragment.
+//
+//   - Partition-parallel execution: "it should be obvious that the
+//     partitioned pre/post plane naturally leads to a parallel XPath
+//     execution strategy" (§3.2). The pruned context staircase is split
+//     into contiguous slices, one per worker; partitions are disjoint
+//     pre ranges, so per-worker results concatenate into document order
+//     without any merge.
+package frag
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"staircase/internal/axis"
+	"staircase/internal/core"
+	"staircase/internal/doc"
+)
+
+// Store is a tag-name fragmented view of a document: one pre-sorted
+// node list per element tag, plus lists per non-element node kind.
+// Stores are immutable after construction and safe for concurrent use.
+type Store struct {
+	d     *doc.Document
+	elems map[int32][]int32 // name id -> element pres
+	text  []int32
+	comm  []int32
+	pi    []int32
+}
+
+// NewStore fragments the document in a single pass.
+func NewStore(d *doc.Document) *Store {
+	s := &Store{d: d, elems: make(map[int32][]int32, d.Names().Len())}
+	kind := d.KindSlice()
+	name := d.NameSlice()
+	for v := 0; v < d.Size(); v++ {
+		switch kind[v] {
+		case doc.Elem:
+			s.elems[name[v]] = append(s.elems[name[v]], int32(v))
+		case doc.Text:
+			s.text = append(s.text, int32(v))
+		case doc.Comment:
+			s.comm = append(s.comm, int32(v))
+		case doc.PI:
+			s.pi = append(s.pi, int32(v))
+		}
+	}
+	return s
+}
+
+// Document returns the underlying document.
+func (s *Store) Document() *doc.Document { return s.d }
+
+// Fragment returns the pre-sorted node list for an element tag (nil if
+// the tag does not occur). Callers must not modify the returned slice.
+func (s *Store) Fragment(tag string) []int32 {
+	id, ok := s.d.Names().Lookup(tag)
+	if !ok {
+		return nil
+	}
+	return s.elems[id]
+}
+
+// TextFragment returns the pre-sorted list of text nodes.
+func (s *Store) TextFragment() []int32 { return s.text }
+
+// Fragments returns the number of element fragments.
+func (s *Store) Fragments() int { return len(s.elems) }
+
+// Step evaluates axis::tag for the context via a staircase join over
+// the tag fragment — the fragmentation strategy's axis step.
+func (s *Store) Step(a axis.Axis, tag string, context []int32, opts *core.Options) ([]int32, error) {
+	list := s.Fragment(tag)
+	if list == nil {
+		return nil, nil
+	}
+	return core.JoinNodeList(s.d, a, list, context, opts)
+}
+
+// Path evaluates a chain of (axis, tag) steps starting from the
+// document root, entirely over fragments.
+func (s *Store) Path(steps []PathStep, opts *core.Options) ([]int32, error) {
+	context := []int32{s.d.Root()}
+	for _, st := range steps {
+		var err error
+		context, err = s.Step(st.Axis, st.Tag, context, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return context, nil
+}
+
+// PathStep is one (axis, tag) step for Store.Path.
+type PathStep struct {
+	Axis axis.Axis
+	Tag  string
+}
+
+// --- partition-parallel staircase join -------------------------------------
+
+// ParallelJoin evaluates a partitioning axis step for the context with
+// the staircase join, splitting the pruned staircase across `workers`
+// goroutines. workers <= 1 (or a single partition) degrades to the
+// sequential join. Results are identical to core.Join.
+func ParallelJoin(d *doc.Document, a axis.Axis, context []int32, workers int, opts *core.Options) ([]int32, error) {
+	switch a {
+	case axis.Descendant:
+		return ParallelDescendantJoin(d, context, workers, opts), nil
+	case axis.Ancestor:
+		return ParallelAncestorJoin(d, context, workers, opts), nil
+	case axis.Following, axis.Preceding:
+		// Pruning reduces these to a single region query (§3.1);
+		// nothing to parallelise.
+		return core.Join(d, a, context, opts)
+	default:
+		return nil, fmt.Errorf("frag: parallel join does not handle axis %v", a)
+	}
+}
+
+// chunkBounds splits k partitions into at most w contiguous chunks and
+// returns the chunk boundary indexes (len = chunks+1, first 0, last k).
+func chunkBounds(k, w int) []int {
+	if w < 1 {
+		w = 1
+	}
+	if w > k {
+		w = k
+	}
+	bounds := make([]int, 0, w+1)
+	for i := 0; i <= w; i++ {
+		bounds = append(bounds, i*k/w)
+	}
+	return bounds
+}
+
+// ParallelDescendantJoin is the parallel variant of
+// core.DescendantJoin. Worker i handles staircase steps
+// [bounds[i], bounds[i+1]); its scan is delimited by the first context
+// node of worker i+1 (partitions are disjoint pre ranges).
+func ParallelDescendantJoin(d *doc.Document, context []int32, workers int, opts *core.Options) []int32 {
+	o := defaultOpts(opts)
+	pruned := core.PruneDescendant(d, context)
+	if len(pruned) == 0 {
+		return nil
+	}
+	bounds := chunkBounds(len(pruned), workers)
+	nchunks := len(bounds) - 1
+	if nchunks <= 1 {
+		wo := *o
+		wo.AssumePruned = true
+		return core.DescendantJoin(d, pruned, &wo)
+	}
+	results := make([][]int32, nchunks)
+	stats := make([]core.Stats, nchunks)
+	var wg sync.WaitGroup
+	for i := 0; i < nchunks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chunk := pruned[bounds[i]:bounds[i+1]]
+			wo := *o
+			wo.AssumePruned = true
+			wo.Stats = &stats[i]
+			if i+1 < nchunks {
+				// Stop before the next worker's first partition.
+				wo.ScanLimit = pruned[bounds[i+1]] - 1
+			}
+			results[i] = core.DescendantJoin(d, chunk, &wo)
+		}(i)
+	}
+	wg.Wait()
+	mergeStats(o.Stats, stats)
+	return concat(results)
+}
+
+// ParallelAncestorJoin is the parallel variant of core.AncestorJoin.
+func ParallelAncestorJoin(d *doc.Document, context []int32, workers int, opts *core.Options) []int32 {
+	o := defaultOpts(opts)
+	pruned := core.PruneAncestor(d, context)
+	if len(pruned) == 0 {
+		return nil
+	}
+	bounds := chunkBounds(len(pruned), workers)
+	nchunks := len(bounds) - 1
+	if nchunks <= 1 {
+		wo := *o
+		wo.AssumePruned = true
+		return core.AncestorJoin(d, pruned, &wo)
+	}
+	results := make([][]int32, nchunks)
+	stats := make([]core.Stats, nchunks)
+	var wg sync.WaitGroup
+	for i := 0; i < nchunks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chunk := pruned[bounds[i]:bounds[i+1]]
+			wo := *o
+			wo.AssumePruned = true
+			wo.Stats = &stats[i]
+			if i > 0 {
+				// Earlier partitions belong to earlier workers: the
+				// first partition of this worker starts right after
+				// the previous worker's last context node.
+				wo.ScanStart = pruned[bounds[i]-1] + 1
+			}
+			results[i] = core.AncestorJoin(d, chunk, &wo)
+		}(i)
+	}
+	wg.Wait()
+	mergeStats(o.Stats, stats)
+	return concat(results)
+}
+
+// defaultOpts mirrors core's nil handling while keeping the caller's
+// options value intact.
+func defaultOpts(opts *core.Options) *core.Options {
+	if opts == nil {
+		return core.DefaultOptions()
+	}
+	return opts
+}
+
+// mergeStats folds per-worker counters into the caller's Stats.
+func mergeStats(dst *core.Stats, parts []core.Stats) {
+	if dst == nil {
+		return
+	}
+	for _, p := range parts {
+		dst.ContextSize += p.ContextSize
+		dst.PrunedSize += p.PrunedSize
+		dst.Scanned += p.Scanned
+		dst.Copied += p.Copied
+		dst.Compared += p.Compared
+		dst.Skipped += p.Skipped
+		dst.Result += p.Result
+	}
+}
+
+// concat joins the per-worker result slices; partitions are disjoint
+// ascending pre ranges, so plain concatenation preserves document order.
+func concat(parts [][]int32) []int32 {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// DefaultWorkers returns the worker count used when callers pass 0:
+// the machine's CPU count.
+func DefaultWorkers() int { return runtime.NumCPU() }

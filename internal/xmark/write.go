@@ -1,0 +1,76 @@
+package xmark
+
+import (
+	"bufio"
+	"encoding/xml"
+	"io"
+)
+
+// xmlSink serializes generation events as XML text.
+type xmlSink struct {
+	w       *bufio.Writer
+	openTag bool // start tag not yet closed with '>'
+	stack   []string
+	err     error
+}
+
+func (s *xmlSink) finishOpen() {
+	if s.openTag {
+		s.errIf(s.w.WriteByte('>'))
+		s.openTag = false
+	}
+}
+
+func (s *xmlSink) errIf(err error) {
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+}
+
+func (s *xmlSink) Open(tag string) {
+	s.finishOpen()
+	s.errIf(s.w.WriteByte('<'))
+	_, err := s.w.WriteString(tag)
+	s.errIf(err)
+	s.openTag = true
+	s.stack = append(s.stack, tag)
+}
+
+func (s *xmlSink) Attr(name, val string) {
+	_, err := s.w.WriteString(" " + name + "=\"")
+	s.errIf(err)
+	s.errIf(xml.EscapeText(s.w, []byte(val)))
+	s.errIf(s.w.WriteByte('"'))
+}
+
+func (s *xmlSink) Text(t string) {
+	s.finishOpen()
+	s.errIf(xml.EscapeText(s.w, []byte(t)))
+}
+
+func (s *xmlSink) Close() {
+	tag := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	if s.openTag {
+		_, err := s.w.WriteString("/>")
+		s.errIf(err)
+		s.openTag = false
+		return
+	}
+	_, err := s.w.WriteString("</" + tag + ">")
+	s.errIf(err)
+}
+
+// Write serializes a generated document as XML text to w. The byte
+// stream is deterministic for a given Config and shreds back to exactly
+// the document Generate builds (round-trip tested).
+func Write(w io.Writer, cfg Config) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	s := &xmlSink{w: bw}
+	g := newGen(cfg)
+	g.document(s)
+	if s.err != nil {
+		return s.err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,426 @@
+// Package xmark generates synthetic auction documents in the spirit of
+// the XMark benchmark's XMLgen (Schmidt et al., VLDB 2002), which the
+// staircase join paper uses for its entire evaluation ("To ensure the
+// test runs to be reproducible, we used ... the XML generator XMLgen").
+//
+// The generator reproduces the structural statistics the paper's
+// queries depend on (see DESIGN.md §5 Substitutions):
+//
+//   - site/open_auctions/open_auction/bidder/increase: every increase
+//     sits at level 4 and has a bidder parent; auctions carry several
+//     bidders whose ancestor paths share the level-3 prefix — the source
+//     of the ≈75 % duplicate ratio in Experiment 1.
+//   - site/people/person/profile/education: roughly half the persons
+//     carry a profile, roughly half the profiles an education — the
+//     selectivities behind Q1's intermediate result sizes (Table 1).
+//   - Documents have height 11 (the paper: "All documents were of
+//     height 11") via nested item descriptions; content size scales
+//     linearly with the requested size like XMLgen's scaling factor.
+//
+// Generation is fully deterministic for a given Config (seeded
+// math/rand, no global state), and can either build the pre/post
+// encoded document directly (fast path for experiments) or serialize
+// XML text (for the xmlgen CLI and shredder round-trip tests).
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"staircase/internal/doc"
+)
+
+// Config controls document generation.
+type Config struct {
+	// SizeMB is the approximate serialized document size in megabytes;
+	// it plays the role of XMark's scaling factor (the paper's sweep is
+	// 1 MB – 1 GB). Entity counts scale linearly in SizeMB.
+	SizeMB float64
+	// Seed makes generation reproducible; equal configs generate
+	// identical documents.
+	Seed int64
+	// KeepValues retains text/attribute content in the encoded
+	// document. Disable for large benchmark documents (structure is
+	// unaffected; serialization then emits empty content).
+	KeepValues bool
+}
+
+// Entity counts per megabyte, following XMark's proportions
+// (at scale factor 1.0 ≈ 100 MB: 25 500 people, 12 000 open auctions,
+// 9 750 closed auctions, 21 750 items, 1 000 categories).
+const (
+	peoplePerMB     = 255
+	auctionsPerMB   = 120
+	closedPerMB     = 97
+	itemsPerMB      = 217
+	categoriesPerMB = 10
+)
+
+// sink receives generation events. Two implementations: the document
+// builder (direct encoding) and the XML text writer.
+type sink interface {
+	Open(tag string)
+	Attr(name, val string)
+	Text(s string)
+	Close()
+}
+
+// builderSink adapts doc.Builder to the sink interface.
+type builderSink struct{ b *doc.Builder }
+
+func (s builderSink) Open(tag string)       { s.b.OpenElem(tag) }
+func (s builderSink) Attr(name, val string) { s.b.Attr(name, val) }
+func (s builderSink) Text(t string)         { s.b.Text(t) }
+func (s builderSink) Close()                { s.b.CloseElem() }
+
+// Generate builds the pre/post encoded document directly, without
+// materialising XML text — the fast path for experiments.
+func Generate(cfg Config) (*doc.Document, error) {
+	var opts []doc.BuilderOption
+	if !cfg.KeepValues {
+		opts = append(opts, doc.WithoutValues())
+	}
+	b := doc.NewBuilder(opts...)
+	g := newGen(cfg)
+	g.document(builderSink{b})
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	return b.Done()
+}
+
+// gen holds generation state.
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+
+	people   int
+	auctions int
+	closed   int
+	items    int
+	cats     int
+
+	// force pins the current description to the deepest shape (used
+	// once per document to guarantee height 11).
+	force bool
+}
+
+func newGen(cfg Config) *gen {
+	if cfg.SizeMB <= 0 {
+		cfg.SizeMB = 0.1
+	}
+	g := &gen{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+	g.people = max(3, int(cfg.SizeMB*peoplePerMB))
+	g.auctions = max(2, int(cfg.SizeMB*auctionsPerMB))
+	g.closed = max(1, int(cfg.SizeMB*closedPerMB))
+	g.items = max(2, int(cfg.SizeMB*itemsPerMB))
+	g.cats = max(1, int(cfg.SizeMB*categoriesPerMB))
+	return g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// vocabulary is the word pool for text content (XMLgen draws from
+// Shakespeare; any fixed pool gives the same structural behaviour).
+var vocabulary = []string{
+	"against", "ambitious", "answer", "bear", "brutus", "caesar", "cause",
+	"censure", "country", "crown", "dead", "death", "did", "fault", "fortune",
+	"friend", "glory", "grievous", "hath", "hear", "honour", "judge", "kill",
+	"love", "lovers", "man", "men", "noble", "offence", "reply", "rome",
+	"slew", "speak", "spoke", "tears", "valiant", "weep", "wisdom", "wrong",
+}
+
+// words emits n space-separated vocabulary words.
+func (g *gen) words(n int) string {
+	out := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, vocabulary[g.rng.Intn(len(vocabulary))]...)
+	}
+	return string(out)
+}
+
+func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
+
+// document emits the whole site document.
+func (g *gen) document(s sink) {
+	s.Open("site")
+	g.regions(s)
+	g.categories(s)
+	g.peopleSection(s)
+	g.openAuctions(s)
+	g.closedAuctions(s)
+	s.Close()
+}
+
+// regions splits the items over the six XMark continents.
+func (g *gen) regions(s sink) {
+	s.Open("regions")
+	regions := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	per := g.items / len(regions)
+	extra := g.items % len(regions)
+	itemID := 0
+	for i, r := range regions {
+		n := per
+		if i < extra {
+			n++
+		}
+		s.Open(r)
+		for j := 0; j < n; j++ {
+			g.item(s, itemID)
+			itemID++
+		}
+		s.Close()
+	}
+	s.Close()
+}
+
+// item emits one item with a (sometimes deeply nested) description; the
+// deep nesting realises document height 11, matching the paper's
+// documents.
+func (g *gen) item(s sink, id int) {
+	s.Open("item")
+	s.Attr("id", fmt.Sprintf("item%d", id))
+	if g.chance(0.1) {
+		s.Attr("featured", "yes")
+	}
+	g.leaf(s, "location", g.words(1))
+	g.leaf(s, "quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5)))
+	g.leaf(s, "name", g.words(2))
+	g.leaf(s, "payment", g.words(3))
+	// The very first item always carries the maximally nested
+	// description, pinning the document height to 11 (as in the
+	// paper's XMark instances) independent of random choices.
+	g.force = id == 0
+	g.description(s, true)
+	g.force = false
+	g.leaf(s, "shipping", g.words(3))
+	for k := 0; k < 1+g.rng.Intn(3); k++ {
+		s.Open("incategory")
+		s.Attr("category", fmt.Sprintf("category%d", g.rng.Intn(g.cats)))
+		s.Close()
+	}
+	if g.chance(0.3) {
+		s.Open("mailbox")
+		for m := 0; m < 1+g.rng.Intn(2); m++ {
+			s.Open("mail")
+			g.leaf(s, "from", g.words(2))
+			g.leaf(s, "to", g.words(2))
+			g.leaf(s, "date", g.date())
+			g.leaf(s, "text", g.words(8))
+			s.Close()
+		}
+		s.Close()
+	}
+	s.Close()
+}
+
+// description emits description > (text | parlist); with deep=true the
+// parlist recursion bottoms out at document level 11.
+func (g *gen) description(s sink, deep bool) {
+	s.Open("description")
+	if deep && (g.force || g.chance(0.35)) {
+		g.parlist(s, 2) // two nested parlist levels
+	} else {
+		g.textElem(s)
+	}
+	s.Close()
+}
+
+// parlist emits parlist > listitem (> parlist ...) nesting.
+func (g *gen) parlist(s sink, levels int) {
+	s.Open("parlist")
+	n := 1 + g.rng.Intn(2)
+	if g.force {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		s.Open("listitem")
+		if levels > 1 {
+			g.parlist(s, levels-1)
+		} else {
+			g.textElem(s)
+		}
+		s.Close()
+	}
+	s.Close()
+}
+
+// textElem emits a text element, occasionally with an inline keyword —
+// the deepest node of the document.
+func (g *gen) textElem(s sink) {
+	s.Open("text")
+	s.Text(g.words(4 + g.rng.Intn(8)))
+	if g.force || g.chance(0.3) {
+		s.Open("keyword")
+		s.Text(g.words(1))
+		s.Close()
+	}
+	s.Close()
+}
+
+// leaf emits <tag>text</tag>.
+func (g *gen) leaf(s sink, tag, text string) {
+	s.Open(tag)
+	s.Text(text)
+	s.Close()
+}
+
+func (g *gen) date() string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+g.rng.Intn(12), 1+g.rng.Intn(28), 1998+g.rng.Intn(4))
+}
+
+// categories emits the category catalogue.
+func (g *gen) categories(s sink) {
+	s.Open("categories")
+	for i := 0; i < g.cats; i++ {
+		s.Open("category")
+		s.Attr("id", fmt.Sprintf("category%d", i))
+		g.leaf(s, "name", g.words(1))
+		g.description(s, false)
+		s.Close()
+	}
+	s.Close()
+}
+
+// peopleSection emits the persons; the profile/education probabilities
+// reproduce Q1's selectivities (Table 1: ≈ half the people carry a
+// profile, ≈ half the profiles an education).
+func (g *gen) peopleSection(s sink) {
+	s.Open("people")
+	for i := 0; i < g.people; i++ {
+		s.Open("person")
+		s.Attr("id", fmt.Sprintf("person%d", i))
+		g.leaf(s, "name", g.words(2))
+		g.leaf(s, "emailaddress", "mailto:"+g.words(1)+"@example.com")
+		if g.chance(0.5) {
+			g.leaf(s, "phone", fmt.Sprintf("+%d (%d) %d", 1+g.rng.Intn(99), g.rng.Intn(1000), g.rng.Intn(10000000)))
+		}
+		if g.chance(0.4) {
+			s.Open("address")
+			g.leaf(s, "street", g.words(2))
+			g.leaf(s, "city", g.words(1))
+			g.leaf(s, "country", g.words(1))
+			g.leaf(s, "zipcode", fmt.Sprintf("%d", g.rng.Intn(100000)))
+			s.Close()
+		}
+		if g.chance(0.5) {
+			s.Open("profile")
+			s.Attr("income", fmt.Sprintf("%d.%02d", 9000+g.rng.Intn(90000), g.rng.Intn(100)))
+			for k := 0; k < g.rng.Intn(3); k++ {
+				s.Open("interest")
+				s.Attr("category", fmt.Sprintf("category%d", g.rng.Intn(g.cats)))
+				s.Close()
+			}
+			if g.chance(0.5) {
+				g.leaf(s, "education", []string{"High School", "College", "Graduate School", "Other"}[g.rng.Intn(4)])
+			}
+			if g.chance(0.8) {
+				g.leaf(s, "gender", []string{"male", "female"}[g.rng.Intn(2)])
+			}
+			g.leaf(s, "business", []string{"Yes", "No"}[g.rng.Intn(2)])
+			if g.chance(0.6) {
+				g.leaf(s, "age", fmt.Sprintf("%d", 18+g.rng.Intn(60)))
+			}
+			s.Close()
+		}
+		if g.chance(0.3) {
+			s.Open("watches")
+			for k := 0; k < 1+g.rng.Intn(3); k++ {
+				s.Open("watch")
+				s.Attr("open_auction", fmt.Sprintf("open_auction%d", g.rng.Intn(g.auctions)))
+				s.Close()
+			}
+			s.Close()
+		}
+		s.Close()
+	}
+	s.Close()
+}
+
+// openAuctions emits the open auctions; bidder counts average 5
+// (uniform 0..10), reproducing Q2's increase density and the shared
+// ancestor paths of sibling bidders.
+func (g *gen) openAuctions(s sink) {
+	s.Open("open_auctions")
+	for i := 0; i < g.auctions; i++ {
+		s.Open("open_auction")
+		s.Attr("id", fmt.Sprintf("open_auction%d", i))
+		g.leaf(s, "initial", g.money())
+		if g.chance(0.4) {
+			g.leaf(s, "reserve", g.money())
+		}
+		for b := g.rng.Intn(11); b > 0; b-- {
+			s.Open("bidder")
+			g.leaf(s, "date", g.date())
+			g.leaf(s, "time", fmt.Sprintf("%02d:%02d:%02d", g.rng.Intn(24), g.rng.Intn(60), g.rng.Intn(60)))
+			s.Open("personref")
+			s.Attr("person", fmt.Sprintf("person%d", g.rng.Intn(g.people)))
+			s.Close()
+			g.leaf(s, "increase", g.money())
+			s.Close()
+		}
+		g.leaf(s, "current", g.money())
+		s.Open("itemref")
+		s.Attr("item", fmt.Sprintf("item%d", g.rng.Intn(g.items)))
+		s.Close()
+		s.Open("seller")
+		s.Attr("person", fmt.Sprintf("person%d", g.rng.Intn(g.people)))
+		s.Close()
+		g.annotation(s)
+		g.leaf(s, "quantity", fmt.Sprintf("%d", 1+g.rng.Intn(3)))
+		g.leaf(s, "type", []string{"Regular", "Featured", "Dutch"}[g.rng.Intn(3)])
+		s.Open("interval")
+		g.leaf(s, "start", g.date())
+		g.leaf(s, "end", g.date())
+		s.Close()
+		s.Close()
+	}
+	s.Close()
+}
+
+// closedAuctions emits the closed auctions.
+func (g *gen) closedAuctions(s sink) {
+	s.Open("closed_auctions")
+	for i := 0; i < g.closed; i++ {
+		s.Open("closed_auction")
+		s.Open("seller")
+		s.Attr("person", fmt.Sprintf("person%d", g.rng.Intn(g.people)))
+		s.Close()
+		s.Open("buyer")
+		s.Attr("person", fmt.Sprintf("person%d", g.rng.Intn(g.people)))
+		s.Close()
+		s.Open("itemref")
+		s.Attr("item", fmt.Sprintf("item%d", g.rng.Intn(g.items)))
+		s.Close()
+		g.leaf(s, "price", g.money())
+		g.leaf(s, "date", g.date())
+		g.leaf(s, "quantity", fmt.Sprintf("%d", 1+g.rng.Intn(3)))
+		g.leaf(s, "type", []string{"Regular", "Featured"}[g.rng.Intn(2)])
+		g.annotation(s)
+		s.Close()
+	}
+	s.Close()
+}
+
+// annotation emits the annotation block shared by auctions.
+func (g *gen) annotation(s sink) {
+	s.Open("annotation")
+	s.Open("author")
+	s.Attr("person", fmt.Sprintf("person%d", g.rng.Intn(g.people)))
+	s.Close()
+	g.description(s, false)
+	g.leaf(s, "happiness", fmt.Sprintf("%d", 1+g.rng.Intn(10)))
+	s.Close()
+}
+
+func (g *gen) money() string {
+	return fmt.Sprintf("%d.%02d", 1+g.rng.Intn(500), g.rng.Intn(100))
+}

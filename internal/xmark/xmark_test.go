@@ -1,0 +1,206 @@
+package xmark
+
+import (
+	"bytes"
+	"testing"
+
+	"staircase/internal/doc"
+	"staircase/internal/engine"
+)
+
+func genDoc(t testing.TB, mb float64) *doc.Document {
+	t.Helper()
+	d, err := Generate(Config{SizeMB: mb, Seed: 1, KeepValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateValidEncoding(t *testing.T) {
+	d := genDoc(t, 0.2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() < 1000 {
+		t.Fatalf("document suspiciously small: %d nodes", d.Size())
+	}
+}
+
+func TestHeightIsEleven(t *testing.T) {
+	// The paper: "All documents were of height 11."
+	for _, mb := range []float64{0.05, 0.2, 1.0} {
+		d := genDoc(t, mb)
+		if d.Height() != 11 {
+			t.Errorf("height(%g MB) = %d, want 11", mb, d.Height())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d1 := genDoc(t, 0.1)
+	d2 := genDoc(t, 0.1)
+	if d1.Size() != d2.Size() {
+		t.Fatalf("sizes differ: %d vs %d", d1.Size(), d2.Size())
+	}
+	for v := int32(0); int(v) < d1.Size(); v++ {
+		if d1.Post(v) != d2.Post(v) || d1.Name(v) != d2.Name(v) {
+			t.Fatalf("node %d differs", v)
+		}
+	}
+	d3, err := Generate(Config{SizeMB: 0.1, Seed: 2, KeepValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Size() == d1.Size() {
+		// Different seeds should (overwhelmingly) give different sizes;
+		// identical sizes with identical content would mean the seed is
+		// ignored.
+		same := true
+		for v := int32(0); int(v) < d1.Size(); v++ {
+			if d1.Post(v) != d3.Post(v) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seed is ignored")
+		}
+	}
+}
+
+func TestStructuralStatistics(t *testing.T) {
+	// The selectivities behind Table 1 (within generous tolerance).
+	d := genDoc(t, 1.0)
+	e := engine.New(d)
+	count := func(q string) int {
+		r, err := e.EvalString(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(r.Nodes)
+	}
+	people := count("/site/people/person")
+	profiles := count("//profile")
+	educations := count("//education")
+	increases := count("//increase")
+	bidders := count("//bidder")
+	auctions := count("//open_auction")
+
+	if people < 200 || people > 300 {
+		t.Errorf("people = %d, want ≈255", people)
+	}
+	// ≈ half the people carry a profile.
+	if r := float64(profiles) / float64(people); r < 0.35 || r > 0.65 {
+		t.Errorf("profile ratio = %.2f, want ≈0.5", r)
+	}
+	// ≈ half the profiles carry an education.
+	if r := float64(educations) / float64(profiles); r < 0.35 || r > 0.65 {
+		t.Errorf("education ratio = %.2f, want ≈0.5", r)
+	}
+	// Every increase has a bidder parent; exactly one increase per bidder.
+	if increases != bidders {
+		t.Errorf("increases = %d, bidders = %d, want equal", increases, bidders)
+	}
+	// ≈ 5 bidders per auction on average.
+	if r := float64(bidders) / float64(auctions); r < 3.5 || r > 6.5 {
+		t.Errorf("bidders/auction = %.2f, want ≈5", r)
+	}
+}
+
+func TestIncreaseLevelIsFour(t *testing.T) {
+	// Q2's context nodes: "the context sequence contains increase
+	// nodes, which all appear on a path of length 4 up to the root,
+	// i.e., for all context nodes c, level(c) = 4."
+	d := genDoc(t, 0.3)
+	e := engine.New(d)
+	r, err := e.EvalString("//increase", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nodes) == 0 {
+		t.Fatal("no increase nodes generated")
+	}
+	for _, v := range r.Nodes {
+		if d.Level(v) != 4 {
+			t.Fatalf("level(increase %d) = %d, want 4", v, d.Level(v))
+		}
+		if d.Name(d.Parent(v)) != "bidder" {
+			t.Fatalf("parent of increase is %q", d.Name(d.Parent(v)))
+		}
+	}
+}
+
+func TestSizeScalesLinearly(t *testing.T) {
+	small := genDoc(t, 0.2)
+	big := genDoc(t, 0.8)
+	ratio := float64(big.Size()) / float64(small.Size())
+	if ratio < 3.0 || ratio > 5.5 {
+		t.Fatalf("4x config gave %.1fx nodes", ratio)
+	}
+}
+
+func TestSerializedSizeRoughlyMatchesConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Config{SizeMB: 0.5, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	mb := float64(buf.Len()) / (1 << 20)
+	if mb < 0.15 || mb > 1.5 {
+		t.Fatalf("requested 0.5 MB, wrote %.2f MB", mb)
+	}
+}
+
+func TestWriteShredRoundTrip(t *testing.T) {
+	cfg := Config{SizeMB: 0.05, Seed: 7, KeepValues: true}
+	direct, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	shredded, err := doc.Shred(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Size() != shredded.Size() {
+		t.Fatalf("direct %d nodes vs shredded %d nodes", direct.Size(), shredded.Size())
+	}
+	for v := int32(0); int(v) < direct.Size(); v++ {
+		if direct.Post(v) != shredded.Post(v) ||
+			direct.KindOf(v) != shredded.KindOf(v) ||
+			direct.Name(v) != shredded.Name(v) {
+			t.Fatalf("node %d differs: (%d,%v,%q) vs (%d,%v,%q)", v,
+				direct.Post(v), direct.KindOf(v), direct.Name(v),
+				shredded.Post(v), shredded.KindOf(v), shredded.Name(v))
+		}
+	}
+	if direct.Height() != shredded.Height() {
+		t.Fatalf("height %d vs %d", direct.Height(), shredded.Height())
+	}
+}
+
+func TestWithoutValues(t *testing.T) {
+	d, err := Generate(Config{SizeMB: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HasValues() {
+		t.Fatal("values should be dropped by default")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyConfigStillValid(t *testing.T) {
+	d, err := Generate(Config{SizeMB: 0, Seed: 0, KeepValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package xpath provides a lexer, parser and AST for the XPath subset
+// the staircase join reproduction evaluates: location paths over all 13
+// axes with name and kind tests, and the predicate forms used by the
+// paper's queries and their rewrites (e.g. the manual rewrite of Q2,
+// /descendant::bidder[descendant::increase], §4.4).
+//
+// Supported grammar (abbreviations expand during parsing):
+//
+//	path      := '/'? step ('/' step)*  |  '//' step (...)
+//	step      := axis '::' nodetest predicate*
+//	           | nodetest predicate*          (child axis)
+//	           | '@' name                     (attribute axis)
+//	           | '.' | '..'
+//	nodetest  := NAME | '*' | 'node()' | 'text()' | 'comment()'
+//	           | 'processing-instruction(' NAME? ')'
+//	predicate := '[' expr ']'
+//	expr      := path | path '=' literal | path '!=' literal
+//	           | 'position()' '=' NUMBER | NUMBER | 'last()'
+//	           | 'not(' expr ')'
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"staircase/internal/axis"
+)
+
+// Path is a parsed location path.
+type Path struct {
+	// Absolute paths start at the document root; relative paths start
+	// at the context node(s).
+	Absolute bool
+	Steps    []Step
+}
+
+// String renders the path in canonical (unabbreviated) XPath syntax.
+func (p Path) String() string {
+	var sb strings.Builder
+	if p.Absolute {
+		sb.WriteString("/")
+	}
+	for i, s := range p.Steps {
+		if i > 0 {
+			sb.WriteString("/")
+		}
+		sb.WriteString(s.String())
+	}
+	return sb.String()
+}
+
+// Step is one location step: axis, node test, and predicates.
+type Step struct {
+	Axis  axis.Axis
+	Test  NodeTest
+	Preds []Predicate
+}
+
+// String renders the step in canonical syntax.
+func (s Step) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s::%s", s.Axis, s.Test)
+	for _, p := range s.Preds {
+		fmt.Fprintf(&sb, "[%s]", p)
+	}
+	return sb.String()
+}
+
+// TestKind classifies node tests.
+type TestKind uint8
+
+const (
+	// TestName matches elements (or attributes, on the attribute axis)
+	// with a specific name.
+	TestName TestKind = iota
+	// TestAny is '*': any node of the axis's principal node kind.
+	TestAny
+	// TestNode is node(): any node.
+	TestNode
+	// TestText is text().
+	TestText
+	// TestComment is comment().
+	TestComment
+	// TestPI is processing-instruction(), optionally with a target name.
+	TestPI
+)
+
+// NodeTest filters the nodes delivered by an axis.
+type NodeTest struct {
+	Kind TestKind
+	Name string // for TestName and optionally TestPI
+}
+
+// String renders the node test.
+func (t NodeTest) String() string {
+	switch t.Kind {
+	case TestName:
+		return t.Name
+	case TestAny:
+		return "*"
+	case TestNode:
+		return "node()"
+	case TestText:
+		return "text()"
+	case TestComment:
+		return "comment()"
+	case TestPI:
+		if t.Name != "" {
+			return fmt.Sprintf("processing-instruction(%q)", t.Name)
+		}
+		return "processing-instruction()"
+	default:
+		return fmt.Sprintf("NodeTest(%d)", uint8(t.Kind))
+	}
+}
+
+// Predicate is a step qualifier. Implementations: Exists, Compare,
+// Position, Last, Not.
+type Predicate interface {
+	fmt.Stringer
+	predicate()
+}
+
+// Exists is satisfied when the relative path yields at least one node.
+type Exists struct {
+	Path Path
+}
+
+func (Exists) predicate()       {}
+func (e Exists) String() string { return e.Path.String() }
+
+// CompareOp is the comparison operator of a Compare predicate.
+type CompareOp uint8
+
+const (
+	// OpEq is '='.
+	OpEq CompareOp = iota
+	// OpNe is '!='.
+	OpNe
+)
+
+// Compare is satisfied when some node produced by the relative path has
+// a string value standing in the given relation to the literal
+// (XPath 1.0 existential comparison semantics).
+type Compare struct {
+	Path    Path
+	Op      CompareOp
+	Literal string
+}
+
+func (Compare) predicate() {}
+func (c Compare) String() string {
+	op := "="
+	if c.Op == OpNe {
+		op = "!="
+	}
+	return fmt.Sprintf("%s %s %q", c.Path, op, c.Literal)
+}
+
+// Position is [n] or [position()=n]: keeps the n-th node (1-based) of
+// the step result per context node, counted in axis direction (reverse
+// axes count backwards, per XPath).
+type Position struct {
+	N int
+}
+
+func (Position) predicate()       {}
+func (p Position) String() string { return fmt.Sprintf("position()=%d", p.N) }
+
+// Last is [last()]: keeps the last node of the step result per context
+// node, in axis direction.
+type Last struct{}
+
+func (Last) predicate()     {}
+func (Last) String() string { return "last()" }
+
+// Not negates an inner predicate.
+type Not struct {
+	Inner Predicate
+}
+
+func (Not) predicate()       {}
+func (n Not) String() string { return fmt.Sprintf("not(%s)", n.Inner) }
+
+// And is satisfied when all operands are (XPath 'and').
+type And struct {
+	Preds []Predicate
+}
+
+func (And) predicate() {}
+func (a And) String() string {
+	parts := make([]string, len(a.Preds))
+	for i, p := range a.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Or is satisfied when any operand is (XPath 'or').
+type Or struct {
+	Preds []Predicate
+}
+
+func (Or) predicate() {}
+func (o Or) String() string {
+	parts := make([]string, len(o.Preds))
+	for i, p := range o.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " or ")
+}
+
+// Query is a union of location paths ('|'), the top-level expression
+// form. Most queries are single-path unions.
+type Query struct {
+	Paths []Path
+}
+
+// String renders the union in canonical syntax.
+func (q Query) String() string {
+	parts := make([]string, len(q.Paths))
+	for i, p := range q.Paths {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,0 +1,512 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"staircase/internal/axis"
+)
+
+// Parse parses a single XPath location path (no top-level union).
+func Parse(input string) (Path, error) {
+	p := &parser{lex: newLexer(input)}
+	path, err := p.parsePath()
+	if err != nil {
+		return Path{}, err
+	}
+	if t := p.lex.peek(); t.kind != tokEOF {
+		return Path{}, fmt.Errorf("xpath: trailing input at %q", t.text)
+	} else if t.text != "" {
+		return Path{}, fmt.Errorf("xpath: %s", t.text)
+	}
+	return path, nil
+}
+
+// ParseQuery parses a top-level expression: one or more location paths
+// combined with the '|' union operator.
+func ParseQuery(input string) (Query, error) {
+	p := &parser{lex: newLexer(input)}
+	var q Query
+	for {
+		path, err := p.parsePath()
+		if err != nil {
+			return Query{}, err
+		}
+		q.Paths = append(q.Paths, path)
+		switch t := p.lex.peek(); t.kind {
+		case tokPipe:
+			p.lex.next()
+		case tokEOF:
+			if t.text != "" {
+				return Query{}, fmt.Errorf("xpath: %s", t.text)
+			}
+			return q, nil
+		default:
+			return Query{}, fmt.Errorf("xpath: trailing input at %q", t.text)
+		}
+	}
+}
+
+// MustParse parses a path and panics on error; for tests and constants.
+func MustParse(input string) Path {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- lexer -----------------------------------------------------------------
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokSlash
+	tokDSlash // //
+	tokName
+	tokAt      // @
+	tokStar    // *
+	tokLParen  // (
+	tokRParen  // )
+	tokLBrack  // [
+	tokRBrack  // ]
+	tokDot     // .
+	tokDotDot  // ..
+	tokAxisSep // ::
+	tokEq      // =
+	tokNe      // !=
+	tokString  // 'lit' or "lit"
+	tokNumber  // 123
+	tokPipe    // |
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	input string
+	pos   int
+	cur   token
+	has   bool
+}
+
+func newLexer(in string) *lexer { return &lexer{input: in} }
+
+func (l *lexer) peek() token {
+	if !l.has {
+		l.cur = l.scan()
+		l.has = true
+	}
+	return l.cur
+}
+
+func (l *lexer) next() token {
+	t := l.peek()
+	l.has = false
+	return t
+}
+
+func isNameStart(r byte) bool {
+	return r == '_' || unicode.IsLetter(rune(r))
+}
+
+func isNameChar(r byte) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+}
+
+func (l *lexer) scan() token {
+	for l.pos < len(l.input) && (l.input[l.pos] == ' ' || l.input[l.pos] == '\t' || l.input[l.pos] == '\n') {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF}
+	}
+	c := l.input[l.pos]
+	switch c {
+	case '/':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '/' {
+			l.pos += 2
+			return token{kind: tokDSlash, text: "//"}
+		}
+		l.pos++
+		return token{kind: tokSlash, text: "/"}
+	case '@':
+		l.pos++
+		return token{kind: tokAt, text: "@"}
+	case '*':
+		l.pos++
+		return token{kind: tokStar, text: "*"}
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "("}
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")"}
+	case '[':
+		l.pos++
+		return token{kind: tokLBrack, text: "["}
+	case ']':
+		l.pos++
+		return token{kind: tokRBrack, text: "]"}
+	case '|':
+		l.pos++
+		return token{kind: tokPipe, text: "|"}
+	case '=':
+		l.pos++
+		return token{kind: tokEq, text: "="}
+	case '!':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokNe, text: "!="}
+		}
+		l.pos++
+		return token{kind: tokEOF, text: "!"} // lone '!' surfaces as parse error
+	case ':':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == ':' {
+			l.pos += 2
+			return token{kind: tokAxisSep, text: "::"}
+		}
+		l.pos++
+		return token{kind: tokEOF, text: ":"}
+	case '.':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '.' {
+			l.pos += 2
+			return token{kind: tokDotDot, text: ".."}
+		}
+		l.pos++
+		return token{kind: tokDot, text: "."}
+	case '\'', '"':
+		quote := c
+		end := l.pos + 1
+		for end < len(l.input) && l.input[end] != quote {
+			end++
+		}
+		if end >= len(l.input) {
+			return token{kind: tokEOF, text: "unterminated string"}
+		}
+		s := l.input[l.pos+1 : end]
+		l.pos = end + 1
+		return token{kind: tokString, text: s}
+	}
+	if c >= '0' && c <= '9' {
+		end := l.pos
+		for end < len(l.input) && l.input[end] >= '0' && l.input[end] <= '9' {
+			end++
+		}
+		t := token{kind: tokNumber, text: l.input[l.pos:end]}
+		l.pos = end
+		return t
+	}
+	if isNameStart(c) {
+		end := l.pos
+		for end < len(l.input) && isNameChar(l.input[end]) {
+			end++
+		}
+		t := token{kind: tokName, text: l.input[l.pos:end]}
+		l.pos = end
+		return t
+	}
+	bad := string(c)
+	l.pos++
+	return token{kind: tokEOF, text: "unexpected character " + bad}
+}
+
+// --- parser ----------------------------------------------------------------
+
+type parser struct {
+	lex *lexer
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xpath: "+format, args...)
+}
+
+// parsePath parses an (absolute or relative) location path.
+func (p *parser) parsePath() (Path, error) {
+	var path Path
+	switch p.lex.peek().kind {
+	case tokSlash:
+		p.lex.next()
+		path.Absolute = true
+		if p.lex.peek().kind == tokEOF {
+			// "/" alone: the root. Represent as absolute self::node().
+			path.Steps = append(path.Steps, Step{Axis: axis.Self, Test: NodeTest{Kind: TestNode}})
+			return path, nil
+		}
+	case tokDSlash:
+		p.lex.next()
+		path.Absolute = true
+		path.Steps = append(path.Steps, Step{Axis: axis.DescendantOrSelf, Test: NodeTest{Kind: TestNode}})
+	}
+	for {
+		step, err := p.parseStep()
+		if err != nil {
+			return Path{}, err
+		}
+		path.Steps = append(path.Steps, step)
+		switch p.lex.peek().kind {
+		case tokSlash:
+			p.lex.next()
+		case tokDSlash:
+			p.lex.next()
+			path.Steps = append(path.Steps, Step{Axis: axis.DescendantOrSelf, Test: NodeTest{Kind: TestNode}})
+		default:
+			return path, nil
+		}
+	}
+}
+
+// parseStep parses one location step including predicates.
+func (p *parser) parseStep() (Step, error) {
+	var step Step
+	tok := p.lex.peek()
+	switch tok.kind {
+	case tokDot:
+		p.lex.next()
+		step = Step{Axis: axis.Self, Test: NodeTest{Kind: TestNode}}
+	case tokDotDot:
+		p.lex.next()
+		step = Step{Axis: axis.Parent, Test: NodeTest{Kind: TestNode}}
+	case tokAt:
+		p.lex.next()
+		test, err := p.parseNodeTest()
+		if err != nil {
+			return Step{}, err
+		}
+		step = Step{Axis: axis.Attribute, Test: test}
+	case tokName:
+		// Either "axis::..." or a child-axis name test (possibly a
+		// kind test like text()).
+		name := tok.text
+		p.lex.next()
+		if p.lex.peek().kind == tokAxisSep {
+			p.lex.next()
+			a, err := axis.Parse(name)
+			if err != nil {
+				return Step{}, err
+			}
+			test, err := p.parseNodeTest()
+			if err != nil {
+				return Step{}, err
+			}
+			step = Step{Axis: a, Test: test}
+		} else {
+			test, err := p.finishNodeTest(name)
+			if err != nil {
+				return Step{}, err
+			}
+			step = Step{Axis: axis.Child, Test: test}
+		}
+	case tokStar:
+		p.lex.next()
+		step = Step{Axis: axis.Child, Test: NodeTest{Kind: TestAny}}
+	default:
+		return Step{}, p.errf("expected location step, got %q", tok.text)
+	}
+	for p.lex.peek().kind == tokLBrack {
+		p.lex.next()
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return Step{}, err
+		}
+		if p.lex.peek().kind != tokRBrack {
+			return Step{}, p.errf("expected ']', got %q", p.lex.peek().text)
+		}
+		p.lex.next()
+		step.Preds = append(step.Preds, pred)
+	}
+	return step, nil
+}
+
+// parseNodeTest parses a node test starting at the current token.
+func (p *parser) parseNodeTest() (NodeTest, error) {
+	tok := p.lex.peek()
+	switch tok.kind {
+	case tokStar:
+		p.lex.next()
+		return NodeTest{Kind: TestAny}, nil
+	case tokName:
+		p.lex.next()
+		return p.finishNodeTest(tok.text)
+	default:
+		return NodeTest{}, p.errf("expected node test, got %q", tok.text)
+	}
+}
+
+// finishNodeTest resolves a name that may turn out to be a kind test
+// such as node() or text().
+func (p *parser) finishNodeTest(name string) (NodeTest, error) {
+	if p.lex.peek().kind != tokLParen {
+		return NodeTest{Kind: TestName, Name: name}, nil
+	}
+	p.lex.next() // consume '('
+	var arg string
+	if p.lex.peek().kind == tokString || p.lex.peek().kind == tokName {
+		arg = p.lex.next().text
+	}
+	if p.lex.peek().kind != tokRParen {
+		return NodeTest{}, p.errf("expected ')' after %s(", name)
+	}
+	p.lex.next()
+	switch name {
+	case "node":
+		return NodeTest{Kind: TestNode}, nil
+	case "text":
+		return NodeTest{Kind: TestText}, nil
+	case "comment":
+		return NodeTest{Kind: TestComment}, nil
+	case "processing-instruction":
+		return NodeTest{Kind: TestPI, Name: arg}, nil
+	default:
+		return NodeTest{}, p.errf("unknown kind test %s()", name)
+	}
+}
+
+// parsePredicate parses the expression inside [...]: a term chain
+// combined with 'and'/'or' ('and' binds tighter, per XPath).
+func (p *parser) parsePredicate() (Predicate, error) {
+	return p.parseOrExpr()
+}
+
+// parseOrExpr parses andExpr ('or' andExpr)*.
+func (p *parser) parseOrExpr() (Predicate, error) {
+	first, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	preds := []Predicate{first}
+	for p.lex.peek().kind == tokName && p.lex.peek().text == "or" {
+		p.lex.next()
+		next, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, next)
+	}
+	if len(preds) == 1 {
+		return first, nil
+	}
+	return Or{Preds: preds}, nil
+}
+
+// parseAndExpr parses term ('and' term)*.
+func (p *parser) parseAndExpr() (Predicate, error) {
+	first, err := p.parsePredTerm()
+	if err != nil {
+		return nil, err
+	}
+	preds := []Predicate{first}
+	for p.lex.peek().kind == tokName && p.lex.peek().text == "and" {
+		p.lex.next()
+		next, err := p.parsePredTerm()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, next)
+	}
+	if len(preds) == 1 {
+		return first, nil
+	}
+	return And{Preds: preds}, nil
+}
+
+// parsePredTerm parses a single predicate term.
+func (p *parser) parsePredTerm() (Predicate, error) {
+	tok := p.lex.peek()
+	switch tok.kind {
+	case tokNumber:
+		p.lex.next()
+		n, err := strconv.Atoi(tok.text)
+		if err != nil || n < 1 {
+			return nil, p.errf("bad position %q", tok.text)
+		}
+		return Position{N: n}, nil
+	case tokName:
+		switch tok.text {
+		case "position":
+			// position() = N
+			save := *p.lex
+			p.lex.next()
+			if p.lex.peek().kind == tokLParen {
+				p.lex.next()
+				if p.lex.peek().kind != tokRParen {
+					return nil, p.errf("expected ')' after position(")
+				}
+				p.lex.next()
+				if p.lex.peek().kind != tokEq {
+					return nil, p.errf("expected '=' after position()")
+				}
+				p.lex.next()
+				num := p.lex.next()
+				if num.kind != tokNumber {
+					return nil, p.errf("expected number after position()=")
+				}
+				n, err := strconv.Atoi(num.text)
+				if err != nil || n < 1 {
+					return nil, p.errf("bad position %q", num.text)
+				}
+				return Position{N: n}, nil
+			}
+			*p.lex = save // it was a path starting with element "position"
+		case "last":
+			save := *p.lex
+			p.lex.next()
+			if p.lex.peek().kind == tokLParen {
+				p.lex.next()
+				if p.lex.peek().kind != tokRParen {
+					return nil, p.errf("expected ')' after last(")
+				}
+				p.lex.next()
+				return Last{}, nil
+			}
+			*p.lex = save
+		case "not":
+			save := *p.lex
+			p.lex.next()
+			if p.lex.peek().kind == tokLParen {
+				p.lex.next()
+				inner, err := p.parsePredicate()
+				if err != nil {
+					return nil, err
+				}
+				if p.lex.peek().kind != tokRParen {
+					return nil, p.errf("expected ')' after not(...")
+				}
+				p.lex.next()
+				return Not{Inner: inner}, nil
+			}
+			*p.lex = save
+		}
+	}
+	// Otherwise: a relative (or absolute) path, optionally compared to
+	// a literal.
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	switch p.lex.peek().kind {
+	case tokEq, tokNe:
+		op := OpEq
+		if p.lex.next().kind == tokNe {
+			op = OpNe
+		}
+		lit := p.lex.next()
+		if lit.kind != tokString {
+			return nil, p.errf("expected string literal after comparison, got %q", lit.text)
+		}
+		return Compare{Path: path, Op: op, Literal: lit.text}, nil
+	default:
+		return Exists{Path: path}, nil
+	}
+}
+
+// NormalizeSpace is a helper mirroring XPath's normalize-space() for
+// string-value comparisons in tests and examples.
+func NormalizeSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,401 @@
+package xpath
+
+import (
+	"testing"
+
+	"staircase/internal/axis"
+)
+
+func TestParsePaperQueries(t *testing.T) {
+	// Q1 and Q2 of the paper's evaluation (Table 1).
+	q1, err := Parse("/descendant::profile/descendant::education")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q1.Absolute || len(q1.Steps) != 2 {
+		t.Fatalf("Q1 = %+v", q1)
+	}
+	if q1.Steps[0].Axis != axis.Descendant || q1.Steps[0].Test.Name != "profile" {
+		t.Fatalf("Q1 step 1 = %+v", q1.Steps[0])
+	}
+	if q1.Steps[1].Axis != axis.Descendant || q1.Steps[1].Test.Name != "education" {
+		t.Fatalf("Q1 step 2 = %+v", q1.Steps[1])
+	}
+
+	q2, err := Parse("/descendant::increase/ancestor::bidder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Steps[1].Axis != axis.Ancestor || q2.Steps[1].Test.Name != "bidder" {
+		t.Fatalf("Q2 step 2 = %+v", q2.Steps[1])
+	}
+
+	// The manual rewrite of Q2 (§4.4, after Olteanu et al.).
+	q2r, err := Parse("/descendant::bidder[descendant::increase]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2r.Steps) != 1 || len(q2r.Steps[0].Preds) != 1 {
+		t.Fatalf("Q2 rewrite = %+v", q2r)
+	}
+	ex, ok := q2r.Steps[0].Preds[0].(Exists)
+	if !ok || ex.Path.Steps[0].Axis != axis.Descendant {
+		t.Fatalf("Q2 rewrite predicate = %+v", q2r.Steps[0].Preds[0])
+	}
+}
+
+func TestParseAbbreviations(t *testing.T) {
+	p, err := Parse("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Absolute || len(p.Steps) != 2 || p.Steps[0].Axis != axis.Child {
+		t.Fatalf("a/b = %+v", p)
+	}
+
+	p, err = Parse("//item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Absolute || len(p.Steps) != 2 {
+		t.Fatalf("//item = %+v", p)
+	}
+	if p.Steps[0].Axis != axis.DescendantOrSelf || p.Steps[0].Test.Kind != TestNode {
+		t.Fatalf("// expansion = %+v", p.Steps[0])
+	}
+
+	p, err = Parse("a//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 3 || p.Steps[1].Axis != axis.DescendantOrSelf {
+		t.Fatalf("a//b = %+v", p)
+	}
+
+	p, err = Parse("../@id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Axis != axis.Parent || p.Steps[1].Axis != axis.Attribute || p.Steps[1].Test.Name != "id" {
+		t.Fatalf("../@id = %+v", p)
+	}
+
+	p, err = Parse(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Axis != axis.Self {
+		t.Fatalf(". = %+v", p)
+	}
+
+	p, err = Parse("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Absolute || p.Steps[0].Axis != axis.Self {
+		t.Fatalf("/ = %+v", p)
+	}
+
+	p, err = Parse("*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Test.Kind != TestAny {
+		t.Fatalf("* = %+v", p)
+	}
+}
+
+func TestParseKindTests(t *testing.T) {
+	cases := map[string]TestKind{
+		"text()":                     TestText,
+		"comment()":                  TestComment,
+		"node()":                     TestNode,
+		"processing-instruction()":   TestPI,
+		"processing-instruction(xx)": TestPI,
+	}
+	for in, kind := range cases {
+		p, err := Parse("/descendant::" + in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if p.Steps[0].Test.Kind != kind {
+			t.Errorf("%s parsed as %v", in, p.Steps[0].Test.Kind)
+		}
+	}
+	p, _ := Parse("/descendant::processing-instruction('tgt')")
+	if p.Steps[0].Test.Name != "tgt" {
+		t.Errorf("PI target = %q", p.Steps[0].Test.Name)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	p, err := Parse("item[3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos, ok := p.Steps[0].Preds[0].(Position); !ok || pos.N != 3 {
+		t.Fatalf("[3] = %+v", p.Steps[0].Preds[0])
+	}
+
+	p, err = Parse("item[position()=2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos, ok := p.Steps[0].Preds[0].(Position); !ok || pos.N != 2 {
+		t.Fatalf("[position()=2] = %+v", p.Steps[0].Preds[0])
+	}
+
+	p, err = Parse("item[last()]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Steps[0].Preds[0].(Last); !ok {
+		t.Fatalf("[last()] = %+v", p.Steps[0].Preds[0])
+	}
+
+	p, err = Parse(`person[name = 'Alice']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, ok := p.Steps[0].Preds[0].(Compare)
+	if !ok || cmp.Op != OpEq || cmp.Literal != "Alice" {
+		t.Fatalf("compare = %+v", p.Steps[0].Preds[0])
+	}
+
+	p, err = Parse(`person[@id != "7"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, ok = p.Steps[0].Preds[0].(Compare)
+	if !ok || cmp.Op != OpNe || cmp.Path.Steps[0].Axis != axis.Attribute {
+		t.Fatalf("compare = %+v", p.Steps[0].Preds[0])
+	}
+
+	p, err = Parse("open_auction[not(bidder)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := p.Steps[0].Preds[0].(Not)
+	if !ok {
+		t.Fatalf("not = %+v", p.Steps[0].Preds[0])
+	}
+	if _, ok := n.Inner.(Exists); !ok {
+		t.Fatalf("not inner = %+v", n.Inner)
+	}
+
+	// Multiple predicates on one step.
+	p, err = Parse("a[b][2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps[0].Preds) != 2 {
+		t.Fatalf("preds = %+v", p.Steps[0].Preds)
+	}
+
+	// Elements named like functions still parse as paths.
+	p, err = Parse("a[position]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Steps[0].Preds[0].(Exists); !ok {
+		t.Fatalf("[position] = %+v", p.Steps[0].Preds[0])
+	}
+
+	// Absolute path inside a predicate.
+	p, err = Parse("a[/root/flag = 'on']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp = p.Steps[0].Preds[0].(Compare)
+	if !cmp.Path.Absolute {
+		t.Fatalf("predicate path should be absolute: %+v", cmp)
+	}
+}
+
+func TestParseAllAxes(t *testing.T) {
+	for _, a := range axis.All() {
+		in := "/" + a.String() + "::node()"
+		p, err := Parse(in)
+		if err != nil {
+			t.Errorf("%s: %v", in, err)
+			continue
+		}
+		if p.Steps[0].Axis != a {
+			t.Errorf("%s parsed axis %v", in, p.Steps[0].Axis)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"/descendant::",
+		"a[",
+		"a[]",
+		"a[b='unterminated]",
+		"a[b=]",
+		"foo::bar",
+		"a b",
+		"a//",
+		"a[position()=]",
+		"a[position()=0]",
+		"//[2]",
+		"a[not(b]",
+		"a::node()",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Canonical rendering must re-parse to the same AST.
+	inputs := []string{
+		"/descendant::profile/descendant::education",
+		"//open_auction[descendant::increase]/child::bidder",
+		"child::a[position()=2]/attribute::id",
+		"/descendant-or-self::node()/child::item[child::name = 'x']",
+		"preceding-sibling::p[last()]",
+	}
+	for _, in := range inputs {
+		p1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p1.String(), err)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("round trip: %q -> %q", p1.String(), p2.String())
+		}
+	}
+}
+
+func TestParseUnionQueries(t *testing.T) {
+	q, err := ParseQuery("//a | /b/c | descendant::d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Paths) != 3 {
+		t.Fatalf("paths = %d", len(q.Paths))
+	}
+	if !q.Paths[1].Absolute || q.Paths[1].Steps[0].Test.Name != "b" {
+		t.Fatalf("second path = %+v", q.Paths[1])
+	}
+	// Single path unions are plain paths.
+	q, err = ParseQuery("//a")
+	if err != nil || len(q.Paths) != 1 {
+		t.Fatalf("single path: %+v, %v", q, err)
+	}
+	// Canonical rendering round-trips.
+	q, err = ParseQuery("//a|//b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := ParseQuery(q.String())
+	if err != nil || q2.String() != q.String() {
+		t.Fatalf("round trip: %q vs %q (%v)", q.String(), q2.String(), err)
+	}
+	for _, bad := range []string{"//a |", "| //a", "//a | | //b"} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q) succeeded", bad)
+		}
+	}
+	// Parse (single path) rejects unions.
+	if _, err := Parse("//a | //b"); err == nil {
+		t.Error("Parse accepted a union")
+	}
+}
+
+func TestParseBooleanPredicates(t *testing.T) {
+	p, err := Parse("a[b and c]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := p.Steps[0].Preds[0].(And)
+	if !ok || len(and.Preds) != 2 {
+		t.Fatalf("[b and c] = %+v", p.Steps[0].Preds[0])
+	}
+
+	p, err = Parse("a[b or c or d]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := p.Steps[0].Preds[0].(Or)
+	if !ok || len(or.Preds) != 3 {
+		t.Fatalf("[b or c or d] = %+v", p.Steps[0].Preds[0])
+	}
+
+	// 'and' binds tighter than 'or'.
+	p, err = Parse("a[b or c and d]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok = p.Steps[0].Preds[0].(Or)
+	if !ok || len(or.Preds) != 2 {
+		t.Fatalf("[b or c and d] = %+v", p.Steps[0].Preds[0])
+	}
+	if _, ok := or.Preds[1].(And); !ok {
+		t.Fatalf("right operand should be And: %+v", or.Preds[1])
+	}
+
+	// Inside not(...).
+	p, err = Parse("a[not(b and c)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := p.Steps[0].Preds[0].(Not)
+	if !ok {
+		t.Fatalf("not = %+v", p.Steps[0].Preds[0])
+	}
+	if _, ok := n.Inner.(And); !ok {
+		t.Fatalf("not inner = %+v", n.Inner)
+	}
+
+	// Mixed with comparisons and positions.
+	p, err = Parse("a[b = 'x' and position()=1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok = p.Steps[0].Preds[0].(And)
+	if !ok {
+		t.Fatalf("mixed = %+v", p.Steps[0].Preds[0])
+	}
+	if _, ok := and.Preds[0].(Compare); !ok {
+		t.Fatalf("left = %+v", and.Preds[0])
+	}
+	if _, ok := and.Preds[1].(Position); !ok {
+		t.Fatalf("right = %+v", and.Preds[1])
+	}
+
+	// Elements named 'and'/'or' still work as steps.
+	p, err = Parse("and/or")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Test.Name != "and" || p.Steps[1].Test.Name != "or" {
+		t.Fatalf("and/or path = %+v", p)
+	}
+
+	for _, bad := range []string{"a[b and]", "a[or b]", "a[b or]"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseRejectsBadCharacters(t *testing.T) {
+	for _, bad := range []string{"a$", "a %", "a[b$]"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestNormalizeSpace(t *testing.T) {
+	if NormalizeSpace("  a \n b\t c ") != "a b c" {
+		t.Fatal("NormalizeSpace broken")
+	}
+}
