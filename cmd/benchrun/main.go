@@ -4,7 +4,11 @@
 // Usage:
 //
 //	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|parallel|copyscan|mpmgjn]
-//	         [-sizes 0.5,1,2,4] [-parallel-size 4] [-workers 1,2,4,8] [-out file]
+//	         [-sizes 0.5,1,2,4] [-parallel-size 4] [-workers 1,2,4,8] [-parallel N] [-out file]
+//
+// -parallel N runs the query-evaluation experiments (fig11b/e/f) with N
+// partition-parallel staircase-join workers (-1 = GOMAXPROCS); the
+// dedicated "parallel" experiment sweeps -workers explicitly.
 //
 // Sizes are megabyte equivalents of the XMark-substitute generator; the
 // paper sweeps 1.1–1111 MB. Larger sizes reproduce the same shapes with
@@ -51,8 +55,10 @@ func main() {
 	sizesFlag := flag.String("sizes", "0.5,1,2,4", "document sizes in MB equivalents")
 	parSize := flag.Float64("parallel-size", 4, "document size for the parallel experiment")
 	workersFlag := flag.String("workers", "1,2,4,8", "worker counts for the parallel experiment")
+	parallel := flag.Int("parallel", 0, "staircase-join workers for query experiments: 0/1 = serial, N > 1 = up to N workers, -1 = GOMAXPROCS")
 	out := flag.String("out", "", "also write output to this file")
 	flag.Parse()
+	bench.Parallelism = *parallel
 
 	sizes, err := parseFloats(*sizesFlag)
 	if err != nil {

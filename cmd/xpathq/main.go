@@ -6,6 +6,7 @@
 //
 //	xpathq -f doc.xml '//person[profile/education]/name'
 //	xpathq -f doc.xml -strategy sql -stats '/descendant::increase/ancestor::bidder'
+//	xpathq -f doc.xml -parallel -1 -stats '/descendant::open_auction/descendant::bidder'
 //	xmlgen -size 1 | xpathq '/descendant::profile/descendant::education'
 //
 // Output: one line per result node with pre rank, kind, name and (for
@@ -44,6 +45,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-step statistics")
 	explain := flag.Bool("explain", false, "print the physical plan instead of results")
 	limit := flag.Int("limit", 20, "max result nodes to print (0 = all)")
+	parallel := flag.Int("parallel", 0, "staircase-join workers: 0/1 = serial, N > 1 = up to N workers, -1 = GOMAXPROCS")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -80,8 +82,9 @@ func main() {
 	}
 
 	e := engine.New(d)
+	eopts := &engine.Options{Strategy: strat, Pushdown: push, Parallelism: *parallel}
 	if *explain {
-		out, err := e.Explain(query, &engine.Options{Strategy: strat, Pushdown: push})
+		out, err := e.Explain(query, eopts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xpathq:", err)
 			os.Exit(1)
@@ -89,7 +92,7 @@ func main() {
 		fmt.Print(out)
 		return
 	}
-	res, err := e.EvalString(query, &engine.Options{Strategy: strat, Pushdown: push})
+	res, err := e.EvalString(query, eopts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xpathq:", err)
 		os.Exit(1)
@@ -123,6 +126,9 @@ func main() {
 				fmt.Printf("          staircase: pruned %d->%d, scanned %d (copied %d, compared %d), skipped %d\n",
 					s.Core.ContextSize, s.Core.PrunedSize, s.Core.Scanned,
 					s.Core.Copied, s.Core.Compared, s.Core.Skipped)
+				if s.Core.Workers > 1 {
+					fmt.Printf("          parallel: %d workers\n", s.Core.Workers)
+				}
 			}
 			if s.Naive.Produced > 0 {
 				fmt.Printf("          naive: produced %d, duplicates %d\n",

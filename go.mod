@@ -1,0 +1,3 @@
+module staircase
+
+go 1.24

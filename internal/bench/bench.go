@@ -37,6 +37,13 @@ const (
 // (the paper: 1.1, 11.0, 111.0, 1111.0).
 var DefaultSizes = []float64{0.5, 1, 2, 4}
 
+// Parallelism is the engine worker count applied by the experiments
+// that time full staircase query evaluation (fig11b, fig11e, fig11f).
+// cmd/benchrun's -parallel flag sets it; 0 keeps the paper's serial
+// configuration. The dedicated "parallel" experiment sweeps worker
+// counts explicitly and ignores this knob.
+var Parallelism int
+
 // Corpus generates and caches sweep documents so experiments share
 // them. Safe for concurrent use.
 type Corpus struct {
@@ -299,7 +306,7 @@ func Fig11b(c *Corpus, sizes []float64) Table {
 		var res *engine.Result
 		dur := timeIt(3, func() {
 			var err error
-			res, err = e.EvalString(Q2, &engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushNever})
+			res, err = e.EvalString(Q2, &engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushNever, Parallelism: Parallelism})
 			if err != nil {
 				panic(err)
 			}
@@ -401,8 +408,8 @@ func figEF(c *Corpus, sizes []float64, id, query string) Table {
 			})
 			return dur, n
 		}
-		scj, n1 := run(&engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushNever})
-		early, n2 := run(&engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushAlways})
+		scj, n1 := run(&engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushNever, Parallelism: Parallelism})
+		early, n2 := run(&engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushAlways, Parallelism: Parallelism})
 		sql, n3 := run(&engine.Options{Strategy: engine.SQL})
 		if n1 != n2 || n1 != n3 {
 			panic(fmt.Sprintf("bench: %s result mismatch: %d/%d/%d", id, n1, n2, n3))
@@ -502,30 +509,47 @@ func Fragmentation(c *Corpus, sizes []float64) Table {
 	return t
 }
 
-// Parallel regenerates the §3.2/§6 parallel-execution sketch: the Q2
-// ancestor step with 1..P workers over the partitioned plane.
+// Parallel regenerates the §3.2/§6 parallel-execution sketch with the
+// core partition-parallel join: the Q1 descendant step (profile
+// context) and the Q2 ancestor step (increase context) with 1..P
+// workers over the partitioned plane. workers=1 rows are the serial
+// baseline each axis' speedup is measured against.
 func Parallel(c *Corpus, mb float64, workers []int) Table {
 	t := Table{
 		ID:     "parallel",
-		Title:  fmt.Sprintf("§3.2/§6: partition-parallel staircase join (Q2 ancestor step, %.1f MB)", mb),
-		Header: []string{"workers", "result", "time[ms]", "speedup"},
+		Title:  fmt.Sprintf("§3.2/§6: partition-parallel staircase join (Q1 descendant / Q2 ancestor steps, %.1f MB)", mb),
+		Header: []string{"axis", "workers", "result", "time[ms]", "speedup"},
+		Notes: []string{
+			"pruning leaves disjoint staircase partitions: per-worker results concatenate without a merge",
+		},
 	}
 	d := c.Doc(mb)
 	cx := getContexts(d)
-	var base time.Duration
-	for _, w := range workers {
-		var n int
-		dur := timeIt(5, func() {
-			res := frag.ParallelAncestorJoin(d, cx.increases, w, nil)
-			n = len(res)
-		})
-		if base == 0 {
-			base = dur
+	for _, step := range []struct {
+		axis    axis.Axis
+		context []int32
+	}{
+		{axis.Descendant, cx.profiles},
+		{axis.Ancestor, cx.increases},
+	} {
+		var base time.Duration
+		for _, w := range workers {
+			var n int
+			dur := timeIt(5, func() {
+				res, err := core.ParallelJoin(d, step.axis, step.context, w, nil)
+				if err != nil {
+					panic(err)
+				}
+				n = len(res)
+			})
+			if base == 0 {
+				base = dur
+			}
+			t.Rows = append(t.Rows, []string{
+				step.axis.String(), fmt.Sprint(w), fmt.Sprint(n), ms(dur),
+				fmt.Sprintf("%.2fx", float64(base.Nanoseconds())/float64(dur.Nanoseconds())),
+			})
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(w), fmt.Sprint(n), ms(dur),
-			fmt.Sprintf("%.2fx", float64(base.Nanoseconds())/float64(dur.Nanoseconds())),
-		})
 	}
 	return t
 }

@@ -18,6 +18,12 @@
 //     scans early, and Equation (1) turns the bulk of each descendant
 //     partition into a comparison-free copy phase, bounding post-rank
 //     comparisons by h·|context|.
+//  4. Partition-parallel execution (§3.2/§6, parallel.go): the pruned
+//     staircase's partitions scan pairwise disjoint pre ranges, so the
+//     staircase can be cut into contiguous chunks and joined on
+//     independent workers whose results concatenate — already in
+//     document order — without a merge. See PartitionStaircase and the
+//     Parallel*Join variants.
 //
 // All functions operate on preorder ranks (int32) against a
 // doc.Document; contexts are sequences of pre ranks in document order
@@ -83,6 +89,10 @@ type Stats struct {
 	Skipped int64
 	// Result is the number of result nodes produced.
 	Result int64
+	// Workers is the number of parallel chunks a Parallel*Join actually
+	// ran (after clamping to the staircase size and scan range); 0 for
+	// serial execution.
+	Workers int64
 }
 
 // add is a nil-safe counter bump helper used by the join loops.

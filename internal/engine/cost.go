@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"runtime"
+
 	"staircase/internal/axis"
 )
 
@@ -26,8 +28,12 @@ import (
 // result — "selective name tests only", quantified.
 
 // estimateJoinTouches bounds the nodes a staircase join over the full
-// document touches for the given axis and context.
+// document touches for the given axis and context. An empty context
+// touches nothing on any axis.
 func (e *Engine) estimateJoinTouches(a axis.Axis, context []int32) int64 {
+	if len(context) == 0 {
+		return 0
+	}
 	d := e.d
 	n := int64(d.Size())
 	k := int64(len(context))
@@ -52,15 +58,9 @@ func (e *Engine) estimateJoinTouches(a axis.Axis, context []int32) int64 {
 		}
 		return bound
 	case axis.Following:
-		if len(context) == 0 {
-			return 0
-		}
 		c, _ := coreReduceFollowing(e, context)
 		return n - int64(c)
 	case axis.Preceding:
-		if len(context) == 0 {
-			return 0
-		}
 		return int64(context[len(context)-1])
 	default:
 		return n
@@ -84,14 +84,55 @@ func coreReduceFollowing(e *Engine, context []int32) (int32, bool) {
 }
 
 // costPushdown decides name-test pushdown with the cost model: push
-// when the tag fragment is smaller than the bound on what the full
-// join would touch.
-func (e *Engine) costPushdown(a axis.Axis, tag string, context []int32) bool {
+// when the tag fragment is smaller than `bound`, the
+// estimateJoinTouches bound on what the full join would touch. The
+// full join runs partition-parallel when the caller requested workers,
+// so the comparison uses the *per-worker* scan bound — a wide parallel
+// join can beat a serial fragment join even when the fragment is
+// nominally smaller.
+func (e *Engine) costPushdown(tag string, bound int64, workers int) bool {
 	id, ok := e.d.Names().Lookup(tag)
 	if !ok {
 		return true // absent tag: the empty fragment is free
 	}
+	if workers < 1 {
+		workers = 1
+	}
 	fragment := int64(len(e.TagList(id)))
-	full := e.estimateJoinTouches(a, context)
-	return fragment < full
+	return fragment < bound/int64(workers)
+}
+
+// minParallelWork is the minimum estimated number of touched nodes per
+// worker before the cost model lets a staircase join fan out: below it,
+// goroutine spawn and per-worker result concatenation dominate the scan
+// itself (a few µs of overhead vs ~1 ns per copied node).
+const minParallelWork = 1 << 11
+
+// parallelWorkersFor resolves the requested Options.Parallelism into
+// the worker count for one axis step whose estimateJoinTouches bound is
+// `bound`: negative requests map to GOMAXPROCS, and the result is
+// clamped so every worker gets at least minParallelWork estimated
+// touched nodes (the parallel operators' entry in the cost model).
+func parallelWorkersFor(opts *Options, bound int64) int {
+	w := opts.Parallelism
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 {
+		return 1
+	}
+	if maxW := bound / minParallelWork; int64(w) > maxW {
+		w = int(maxW)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// parallelWorkers is parallelWorkersFor with the bound computed from
+// the axis and context (steps that already hold the bound use
+// parallelWorkersFor directly to avoid a second estimate pass).
+func (e *Engine) parallelWorkers(a axis.Axis, context []int32, opts *Options) int {
+	return parallelWorkersFor(opts, e.estimateJoinTouches(a, context))
 }

@@ -18,18 +18,18 @@ func TestCostModelPushesSelectiveTags(t *testing.T) {
 
 	// `education` is rare; the whole-document descendant join from the
 	// root would touch everything => push.
-	if !e.shouldPush(axis.Descendant, "education", root, PushAuto) {
+	if !e.shouldPush("education", e.estimateJoinTouches(axis.Descendant, root), PushAuto, 1) {
 		t.Error("expected pushdown for selective tag from root context")
 	}
 	// Absent tag: trivially pushed (empty fragment).
-	if !e.shouldPush(axis.Descendant, "nosuchtag", root, PushAuto) {
+	if !e.shouldPush("nosuchtag", e.estimateJoinTouches(axis.Descendant, root), PushAuto, 1) {
 		t.Error("expected pushdown for absent tag")
 	}
 	// Forced modes override the model.
-	if e.shouldPush(axis.Descendant, "education", root, PushNever) {
+	if e.shouldPush("education", e.estimateJoinTouches(axis.Descendant, root), PushNever, 1) {
 		t.Error("PushNever must not push")
 	}
-	if !e.shouldPush(axis.Descendant, "nosuchtag", root, PushAlways) {
+	if !e.shouldPush("nosuchtag", e.estimateJoinTouches(axis.Descendant, root), PushAlways, 1) {
 		t.Error("PushAlways must push")
 	}
 }
@@ -50,7 +50,7 @@ func TestCostModelAvoidsPushForTinyContexts(t *testing.T) {
 	if d.SubtreeSize(leaf) > 4 {
 		t.Skip("education unexpectedly large")
 	}
-	if e.shouldPush(axis.Descendant, "item", []int32{leaf}, PushAuto) {
+	if e.shouldPush("item", e.estimateJoinTouches(axis.Descendant, []int32{leaf}), PushAuto, 1) {
 		t.Error("pushed a large fragment for a tiny context subtree")
 	}
 }

@@ -18,6 +18,15 @@
 // running the join over the (much smaller) tag node list. A simple
 // selectivity heuristic decides automatically — the cost-model stub the
 // paper lists as future research — and can be overridden for ablation.
+//
+// Parallel execution (§3.2/§6): Options.Parallelism > 1 evaluates the
+// four partitioning axes with the partition-parallel staircase join
+// (core.ParallelJoin). The cost model clamps the requested worker count
+// so that each worker has enough estimated scan work to amortise the
+// fan-out, and factors the per-worker scan bound into the name-test
+// pushdown decision. Results are identical to serial evaluation —
+// pruning leaves staircase partitions that scan disjoint document
+// regions, so per-worker results concatenate in document order.
 package engine
 
 import (
@@ -99,11 +108,23 @@ func (p Pushdown) String() string {
 	}
 }
 
+// AutoParallelism requests one staircase-join worker per available CPU
+// (runtime.GOMAXPROCS) when assigned to Options.Parallelism.
+const AutoParallelism = -1
+
 // Options configures evaluation. The zero value is the paper default:
-// full staircase join with automatic pushdown.
+// full staircase join with automatic pushdown, serial execution.
 type Options struct {
 	Strategy Strategy
 	Pushdown Pushdown
+	// Parallelism is the worker count for partition-parallel staircase
+	// joins on the descendant/ancestor/following/preceding axes: 0 or 1
+	// evaluates serially, > 1 uses at most that many workers, and any
+	// negative value (canonically AutoParallelism) uses GOMAXPROCS. The
+	// cost model may use fewer workers on steps too small to amortise
+	// the goroutine fan-out; StepReport.Core.Workers records the count
+	// actually used.
+	Parallelism int
 }
 
 // StepReport records per-step evaluation statistics.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"staircase/internal/axis"
@@ -69,6 +70,26 @@ func (e *Engine) explainPath(sb *strings.Builder, p xpath.Path, opts *Options) e
 						rep.Core.ContextSize, rep.Core.PrunedSize)
 					fmt.Fprintf(sb, "  work: scanned %d (copied %d, compared %d), skipped %d\n",
 						rep.Core.Scanned, rep.Core.Copied, rep.Core.Compared, rep.Core.Skipped)
+					if rep.Core.Workers > 1 {
+						fmt.Fprintf(sb, "  parallel: %d workers over %d partitions (disjoint pre ranges, concat in document order)\n",
+							rep.Core.Workers, rep.Core.PrunedSize)
+					} else if req := opts.Parallelism; req > 1 || req < 0 {
+						if req < 0 {
+							req = runtime.GOMAXPROCS(0)
+						}
+						switch {
+						case rep.Pushed:
+							fmt.Fprintf(sb, "  parallel: n/a (name-test pushdown chose the serial fragment join)\n")
+						case req <= 1:
+							fmt.Fprintf(sb, "  parallel: n/a (GOMAXPROCS resolves to a single worker)\n")
+						case rep.Core.Workers == 1:
+							fmt.Fprintf(sb, "  parallel: single chunk (%d staircase partition(s) do not split further)\n",
+								rep.Core.PrunedSize)
+						default:
+							fmt.Fprintf(sb, "  parallel: declined by cost model (step below %d touched nodes per worker)\n",
+								int64(minParallelWork))
+						}
+					}
 				}
 			default:
 				fmt.Fprintf(sb, "  properties: may generate duplicates; plan appends unique over pre-sorted output\n")
@@ -112,13 +133,13 @@ func (e *Engine) describeOperator(step xpath.Step, context []int32, opts *Option
 		if a == axis.AncestorOrSelf {
 			base = axis.Ancestor
 		}
-		if rep.Pushed || (base.Partitioning() && e.shouldPush(base, step.Test.Name, context, opts.Pushdown)) {
+		full := e.estimateJoinTouches(base, context)
+		if rep.Pushed || (base.Partitioning() && e.shouldPush(step.Test.Name, full, opts.Pushdown, parallelWorkersFor(opts, full))) {
 			id, ok := e.d.Names().Lookup(step.Test.Name)
 			frag := 0
 			if ok {
 				frag = len(e.TagList(id))
 			}
-			full := e.estimateJoinTouches(base, context)
 			desc += fmt.Sprintf("\n  pushdown: name test %q pushed below join (fragment %d < full-join bound %d)",
 				step.Test.Name, frag, full)
 		} else if base.Partitioning() {

@@ -93,7 +93,9 @@ func (e *Engine) evalPartitioning(a axis.Axis, test xpath.NodeTest, context []in
 		if rep != nil {
 			co.Stats = &rep.Core
 		}
-		if test.Kind == xpath.TestName && e.shouldPush(a, test.Name, context, opts.Pushdown) {
+		bound := e.estimateJoinTouches(a, context)
+		workers := parallelWorkersFor(opts, bound)
+		if test.Kind == xpath.TestName && e.shouldPush(test.Name, bound, opts.Pushdown, workers) {
 			id, ok := e.d.Names().Lookup(test.Name)
 			if !ok {
 				return nil, nil // tag absent: empty result
@@ -101,9 +103,18 @@ func (e *Engine) evalPartitioning(a axis.Axis, test xpath.NodeTest, context []in
 			if rep != nil {
 				rep.Pushed = true
 			}
+			// Fragment joins stay serial: the tag list is binary-search
+			// bounded and the cost model only chose this path because it
+			// beats even the parallel full-document join.
 			return core.JoinNodeList(e.d, a, e.TagList(id), context, co)
 		}
-		nodes, err := core.Join(e.d, a, context, co)
+		var nodes []int32
+		var err error
+		if workers > 1 {
+			nodes, err = core.ParallelJoin(e.d, a, context, workers, co)
+		} else {
+			nodes, err = core.Join(e.d, a, context, co)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -149,15 +160,18 @@ func coreVariant(s Strategy) core.Variant {
 }
 
 // shouldPush decides name-test pushdown: forced by PushAlways/PushNever,
-// otherwise delegated to the cost model (cost.go).
-func (e *Engine) shouldPush(a axis.Axis, tag string, context []int32, mode Pushdown) bool {
+// otherwise delegated to the cost model (cost.go). bound is the
+// estimateJoinTouches bound for the step and workers the parallelism
+// the full-document join would run with, which lowers its effective
+// cost.
+func (e *Engine) shouldPush(tag string, bound int64, mode Pushdown, workers int) bool {
 	switch mode {
 	case PushAlways:
 		return true
 	case PushNever:
 		return false
 	default:
-		return e.costPushdown(a, tag, context)
+		return e.costPushdown(tag, bound, workers)
 	}
 }
 

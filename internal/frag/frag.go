@@ -10,16 +10,14 @@
 //
 //   - Partition-parallel execution: "it should be obvious that the
 //     partitioned pre/post plane naturally leads to a parallel XPath
-//     execution strategy" (§3.2). The pruned context staircase is split
-//     into contiguous slices, one per worker; partitions are disjoint
-//     pre ranges, so per-worker results concatenate into document order
-//     without any merge.
+//     execution strategy" (§3.2). The implementation now lives in
+//     internal/core (core.ParallelJoin and the PartitionStaircase
+//     partitioner); this package re-exports thin wrappers so
+//     fragmentation users keep a single import.
 package frag
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
 
 	"staircase/internal/axis"
 	"staircase/internal/core"
@@ -108,157 +106,30 @@ type PathStep struct {
 
 // --- partition-parallel staircase join -------------------------------------
 
+// The parallel join itself lives in internal/core (core.ParallelJoin
+// and friends) since PR 1 promoted it from this package's sketch into a
+// first-class operator; the wrappers below are kept so fragmentation
+// users keep a single import.
+
 // ParallelJoin evaluates a partitioning axis step for the context with
-// the staircase join, splitting the pruned staircase across `workers`
+// the staircase join, splitting the partitioned plane across `workers`
 // goroutines. workers <= 1 (or a single partition) degrades to the
-// sequential join. Results are identical to core.Join.
+// sequential join. Results are identical to core.Join. It delegates to
+// core.ParallelJoin.
 func ParallelJoin(d *doc.Document, a axis.Axis, context []int32, workers int, opts *core.Options) ([]int32, error) {
-	switch a {
-	case axis.Descendant:
-		return ParallelDescendantJoin(d, context, workers, opts), nil
-	case axis.Ancestor:
-		return ParallelAncestorJoin(d, context, workers, opts), nil
-	case axis.Following, axis.Preceding:
-		// Pruning reduces these to a single region query (§3.1);
-		// nothing to parallelise.
-		return core.Join(d, a, context, opts)
-	default:
-		return nil, fmt.Errorf("frag: parallel join does not handle axis %v", a)
-	}
+	return core.ParallelJoin(d, a, context, workers, opts)
 }
 
-// chunkBounds splits k partitions into at most w contiguous chunks and
-// returns the chunk boundary indexes (len = chunks+1, first 0, last k).
-func chunkBounds(k, w int) []int {
-	if w < 1 {
-		w = 1
-	}
-	if w > k {
-		w = k
-	}
-	bounds := make([]int, 0, w+1)
-	for i := 0; i <= w; i++ {
-		bounds = append(bounds, i*k/w)
-	}
-	return bounds
-}
-
-// ParallelDescendantJoin is the parallel variant of
-// core.DescendantJoin. Worker i handles staircase steps
-// [bounds[i], bounds[i+1]); its scan is delimited by the first context
-// node of worker i+1 (partitions are disjoint pre ranges).
+// ParallelDescendantJoin is the parallel variant of core.DescendantJoin
+// (see core.ParallelDescendantJoin).
 func ParallelDescendantJoin(d *doc.Document, context []int32, workers int, opts *core.Options) []int32 {
-	o := defaultOpts(opts)
-	pruned := core.PruneDescendant(d, context)
-	if len(pruned) == 0 {
-		return nil
-	}
-	bounds := chunkBounds(len(pruned), workers)
-	nchunks := len(bounds) - 1
-	if nchunks <= 1 {
-		wo := *o
-		wo.AssumePruned = true
-		return core.DescendantJoin(d, pruned, &wo)
-	}
-	results := make([][]int32, nchunks)
-	stats := make([]core.Stats, nchunks)
-	var wg sync.WaitGroup
-	for i := 0; i < nchunks; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			chunk := pruned[bounds[i]:bounds[i+1]]
-			wo := *o
-			wo.AssumePruned = true
-			wo.Stats = &stats[i]
-			if i+1 < nchunks {
-				// Stop before the next worker's first partition.
-				wo.ScanLimit = pruned[bounds[i+1]] - 1
-			}
-			results[i] = core.DescendantJoin(d, chunk, &wo)
-		}(i)
-	}
-	wg.Wait()
-	mergeStats(o.Stats, stats)
-	return concat(results)
+	return core.ParallelDescendantJoin(d, context, workers, opts)
 }
 
-// ParallelAncestorJoin is the parallel variant of core.AncestorJoin.
+// ParallelAncestorJoin is the parallel variant of core.AncestorJoin
+// (see core.ParallelAncestorJoin).
 func ParallelAncestorJoin(d *doc.Document, context []int32, workers int, opts *core.Options) []int32 {
-	o := defaultOpts(opts)
-	pruned := core.PruneAncestor(d, context)
-	if len(pruned) == 0 {
-		return nil
-	}
-	bounds := chunkBounds(len(pruned), workers)
-	nchunks := len(bounds) - 1
-	if nchunks <= 1 {
-		wo := *o
-		wo.AssumePruned = true
-		return core.AncestorJoin(d, pruned, &wo)
-	}
-	results := make([][]int32, nchunks)
-	stats := make([]core.Stats, nchunks)
-	var wg sync.WaitGroup
-	for i := 0; i < nchunks; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			chunk := pruned[bounds[i]:bounds[i+1]]
-			wo := *o
-			wo.AssumePruned = true
-			wo.Stats = &stats[i]
-			if i > 0 {
-				// Earlier partitions belong to earlier workers: the
-				// first partition of this worker starts right after
-				// the previous worker's last context node.
-				wo.ScanStart = pruned[bounds[i]-1] + 1
-			}
-			results[i] = core.AncestorJoin(d, chunk, &wo)
-		}(i)
-	}
-	wg.Wait()
-	mergeStats(o.Stats, stats)
-	return concat(results)
-}
-
-// defaultOpts mirrors core's nil handling while keeping the caller's
-// options value intact.
-func defaultOpts(opts *core.Options) *core.Options {
-	if opts == nil {
-		return core.DefaultOptions()
-	}
-	return opts
-}
-
-// mergeStats folds per-worker counters into the caller's Stats.
-func mergeStats(dst *core.Stats, parts []core.Stats) {
-	if dst == nil {
-		return
-	}
-	for _, p := range parts {
-		dst.ContextSize += p.ContextSize
-		dst.PrunedSize += p.PrunedSize
-		dst.Scanned += p.Scanned
-		dst.Copied += p.Copied
-		dst.Compared += p.Compared
-		dst.Skipped += p.Skipped
-		dst.Result += p.Result
-	}
-}
-
-// concat joins the per-worker result slices; partitions are disjoint
-// ascending pre ranges, so plain concatenation preserves document order.
-func concat(parts [][]int32) []int32 {
-	total := 0
-	for _, p := range parts {
-		total += len(p)
-	}
-	out := make([]int32, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	return core.ParallelAncestorJoin(d, context, workers, opts)
 }
 
 // DefaultWorkers returns the worker count used when callers pass 0:

@@ -225,28 +225,10 @@ func TestParallelEmptyContext(t *testing.T) {
 	}
 }
 
-func TestChunkBounds(t *testing.T) {
-	cases := []struct {
-		k, w int
-		want []int
-	}{
-		{10, 2, []int{0, 5, 10}},
-		{10, 3, []int{0, 3, 6, 10}},
-		{3, 10, []int{0, 1, 2, 3}},
-		{1, 4, []int{0, 1}},
-		{5, 0, []int{0, 5}},
-	}
-	for _, c := range cases {
-		got := chunkBounds(c.k, c.w)
-		if len(got) != len(c.want) {
-			t.Fatalf("chunkBounds(%d,%d) = %v, want %v", c.k, c.w, got, c.want)
-		}
-		for i := range got {
-			if got[i] != c.want[i] {
-				t.Fatalf("chunkBounds(%d,%d) = %v, want %v", c.k, c.w, got, c.want)
-			}
-		}
-	}
+func TestDefaultWorkers(t *testing.T) {
+	// The chunking logic itself is exercised in core (PartitionStaircase
+	// and the Parallel*Join property tests); here only the wrapper
+	// plumbing remains.
 	if DefaultWorkers() < 1 {
 		t.Fatal("DefaultWorkers < 1")
 	}
