@@ -1,21 +1,38 @@
 // Command benchrun regenerates every table and figure of the staircase
-// join paper's evaluation (see DESIGN.md for the experiment index).
+// join paper's evaluation (see DESIGN.md for the experiment index), and
+// doubles as the CI benchmark-regression gate.
 //
 // Usage:
 //
-//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|parallel|copyscan|mpmgjn]
-//	         [-sizes 0.5,1,2,4] [-parallel-size 4] [-workers 1,2,4,8] [-parallel N] [-out file]
+//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|parallel|copyscan|mpmgjn|storage|server]
+//	         [-sizes 0.5,1,2,4] [-parallel-size 4] [-workers 1,2,4,8] [-clients 1,2,4,8]
+//	         [-parallel N] [-out file] [-json]
 //
 // -parallel N runs the query-evaluation experiments (fig11b/e/f) with N
 // partition-parallel staircase-join workers (-1 = GOMAXPROCS); the
-// dedicated "parallel" experiment sweeps -workers explicitly.
+// dedicated "parallel" experiment sweeps -workers explicitly, and the
+// "server" experiment sweeps -clients concurrent HTTP clients against
+// the xpathd query server (cold vs warm result cache).
 //
 // Sizes are megabyte equivalents of the XMark-substitute generator; the
 // paper sweeps 1.1–1111 MB. Larger sizes reproduce the same shapes with
 // more headroom: try -sizes 1,4,16,64 on a machine with a few GB of RAM.
+//
+// Regression gate:
+//
+//	benchrun -write-baseline BENCH_baseline.json [-gate-runs 5]
+//	benchrun -gate BENCH_baseline.json [-gate-runs 5] [-gate-tol 0.25] [-gate-out current.json]
+//
+// The gate measures the staircase-join benchmark family (the four
+// partitioning-axis joins plus Q1/Q2 engine evaluation), takes the
+// fastest ns/op of -gate-runs runs per benchmark, normalises for the
+// speed difference between the baseline host and this host (the
+// family-median ratio), and exits non-zero if any benchmark regresses
+// by more than -gate-tol versus the baseline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -50,15 +67,91 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+// runGate executes the benchmark-regression gate and returns the
+// process exit code.
+func runGate(c *bench.Corpus, baselinePath, writePath, outPath string, runs int, tol float64) int {
+	if writePath != "" {
+		points := bench.RunSmoke(c, runs)
+		f, err := os.Create(writePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := bench.WriteBaseline(f, points, runs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		fmt.Printf("wrote %d benchmark points (fastest of %d runs each) to %s\n", len(points), runs, writePath)
+		return 0
+	}
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		return 1
+	}
+	baseline, err := bench.ReadBaseline(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	points := bench.RunSmoke(c, runs)
+	if outPath != "" {
+		of, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		err = bench.WriteBaseline(of, points, runs)
+		of.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+	}
+	base := make(map[string]float64, len(baseline.Points))
+	for _, p := range baseline.Points {
+		base[p.Name] = p.NsPerOp
+	}
+	for _, p := range points {
+		delta := "new"
+		if b, ok := base[p.Name]; ok && b > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(p.NsPerOp/b-1))
+		}
+		fmt.Printf("%-22s %12.0f ns/op  (%s vs baseline)\n", p.Name, p.NsPerOp, delta)
+	}
+	if failures := bench.CheckRegression(baseline.Points, points, tol); len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "benchrun: benchmark regression gate FAILED:")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		return 1
+	}
+	fmt.Printf("gate passed: no benchmark regressed by more than %.0f%%\n", 100*tol)
+	return 0
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	sizesFlag := flag.String("sizes", "0.5,1,2,4", "document sizes in MB equivalents")
-	parSize := flag.Float64("parallel-size", 4, "document size for the parallel experiment")
+	parSize := flag.Float64("parallel-size", 4, "document size for the parallel and server experiments")
 	workersFlag := flag.String("workers", "1,2,4,8", "worker counts for the parallel experiment")
+	clientsFlag := flag.String("clients", "1,2,4,8", "client counts for the server experiment")
 	parallel := flag.Int("parallel", 0, "staircase-join workers for query experiments: 0/1 = serial, N > 1 = up to N workers, -1 = GOMAXPROCS")
 	out := flag.String("out", "", "also write output to this file")
+	jsonOut := flag.Bool("json", false, "emit experiment results as JSON instead of formatted tables")
+	gate := flag.String("gate", "", "run the benchmark-regression gate against this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "measure the gate family and write a baseline file")
+	gateOut := flag.String("gate-out", "", "with -gate: also write the current measurements to this file")
+	gateRuns := flag.Int("gate-runs", 5, "gate runs per benchmark (the fastest run is compared)")
+	gateTol := flag.Float64("gate-tol", 0.25, "allowed fractional ns/op regression before the gate fails")
 	flag.Parse()
 	bench.Parallelism = *parallel
+
+	if *gate != "" || *writeBaseline != "" {
+		os.Exit(runGate(bench.NewCorpus(), *gate, *writeBaseline, *gateOut, *gateRuns, *gateTol))
+	}
 
 	sizes, err := parseFloats(*sizesFlag)
 	if err != nil {
@@ -66,6 +159,11 @@ func main() {
 		os.Exit(2)
 	}
 	workers, err := parseInts(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(2)
+	}
+	clients, err := parseInts(*clientsFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(2)
@@ -98,11 +196,31 @@ func main() {
 		"copyscan": func() bench.Table { return bench.CopyVsScan(c, sizes) },
 		"mpmgjn":   func() bench.Table { return bench.MPMGJN(c, sizes) },
 		"storage":  func() bench.Table { return bench.Storage(c, sizes) },
+		"server":   func() bench.Table { return bench.ServerThroughput(c, *parSize, clients) },
 	}
 	order := []string{"table1", "fig3", "fig11a", "fig11b", "fig11c", "fig11d",
-		"fig11e", "fig11f", "window", "frag", "parallel", "copyscan", "mpmgjn", "storage"}
+		"fig11e", "fig11f", "window", "frag", "parallel", "copyscan", "mpmgjn", "storage", "server"}
+
+	emitJSON := func(tables []bench.Table) {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *exp == "all" {
+		if *jsonOut {
+			tables := make([]bench.Table, 0, len(order))
+			for _, id := range order {
+				tables = append(tables, runs[id]())
+			}
+			emitJSON(tables)
+			return
+		}
+		// Text mode streams each table as its experiment completes — a
+		// full sweep runs for minutes and partial output is valuable.
 		for _, id := range order {
 			fmt.Fprintln(w, runs[id]().Format())
 		}
@@ -113,6 +231,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchrun: unknown experiment %q (known: %s, all)\n",
 			*exp, strings.Join(order, ", "))
 		os.Exit(2)
+	}
+	if *jsonOut {
+		emitJSON([]bench.Table{run()})
+		return
 	}
 	fmt.Fprintln(w, run().Format())
 }

@@ -1,0 +1,133 @@
+// Command xpathd is the XPath query daemon: it serves a catalog of
+// pre/post encoded documents over an HTTP/JSON API, answering single
+// and batched XPath queries concurrently with a shared result cache
+// and a bounded worker pool.
+//
+// Usage:
+//
+//	xpathd -addr :8080 -doc auction=auction.xml -doc big=big.scj
+//	xpathd -addr :8080 -gen demo=1        # generated XMark document
+//
+// Document sources may be XML text or the SCJ1 binary format written
+// by doc.WriteBinary (xpathq/examples); the format is sniffed from the
+// file. -gen name=sizeMB registers a generated XMark-style document —
+// handy for demos and load tests without files on disk.
+//
+//	curl -s localhost:8080/query -d '{
+//	  "doc": "auction",
+//	  "queries": ["/descendant::profile/descendant::education",
+//	              "/descendant::increase/ancestor::bidder"]
+//	}'
+//	curl -s 'localhost:8080/explain?doc=auction&q=//bidder'
+//	curl -s localhost:8080/docs
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"staircase/internal/catalog"
+	"staircase/internal/server"
+	"staircase/internal/xmark"
+)
+
+// pairList collects repeatable name=value flags.
+type pairList []pair
+
+type pair struct{ name, value string }
+
+func (p *pairList) String() string {
+	var parts []string
+	for _, kv := range *p {
+		parts = append(parts, kv.name+"="+kv.value)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *pairList) Set(s string) error {
+	name, value, ok := strings.Cut(s, "=")
+	if !ok || name == "" || value == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	*p = append(*p, pair{name, value})
+	return nil
+}
+
+func main() {
+	var docs, gens pairList
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Var(&docs, "doc", "register a document: name=path (XML or SCJ1 binary, repeatable)")
+	flag.Var(&gens, "gen", "register a generated XMark document: name=sizeMB (repeatable)")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MB (0 disables)")
+	catalogMB := flag.Int64("catalog-mb", 0, "resident document budget in MB (0 = unbounded)")
+	workers := flag.Int("workers", 0, "worker budget for query evaluation (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "default staircase-join parallelism per query (0/1 serial, -1 all cores)")
+	flag.Parse()
+
+	if len(docs) == 0 && len(gens) == 0 {
+		fmt.Fprintln(os.Stderr, "xpathd: no documents; use -doc name=path or -gen name=sizeMB")
+		os.Exit(2)
+	}
+
+	cat := catalog.New(*catalogMB << 20)
+	for _, kv := range docs {
+		if err := cat.Register(kv.name, kv.value, catalog.FormatAuto); err != nil {
+			fmt.Fprintln(os.Stderr, "xpathd:", err)
+			os.Exit(1)
+		}
+	}
+	for _, kv := range gens {
+		mb, err := strconv.ParseFloat(kv.value, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpathd: bad -gen size %q: %v\n", kv.value, err)
+			os.Exit(1)
+		}
+		d, err := xmark.Generate(xmark.Config{SizeMB: mb, Seed: 42, KeepValues: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpathd:", err)
+			os.Exit(1)
+		}
+		if err := cat.AddDocument(kv.name, d); err != nil {
+			fmt.Fprintln(os.Stderr, "xpathd:", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := server.New(server.Config{
+		Catalog:            cat,
+		CacheBytes:         *cacheMB << 20,
+		Workers:            *workers,
+		DefaultParallelism: *parallel,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Shutdown makes ListenAndServe return immediately, so main must
+	// wait for the drain to finish before exiting.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "xpathd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "xpathd: serving %d document(s) on %s\n", len(cat.Names()), *addr)
+	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "xpathd:", err)
+		os.Exit(1)
+	}
+	<-drained
+}

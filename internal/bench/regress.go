@@ -1,0 +1,178 @@
+// Benchmark-regression gate: a small, fixed family of staircase-join
+// benchmarks that CI measures on every commit and compares against a
+// committed baseline (BENCH_baseline.json). The family covers the four
+// partitioning-axis joins plus full Q1/Q2 engine evaluation, i.e. the
+// hot paths every perf-oriented PR touches. cmd/benchrun drives it via
+// -gate / -write-baseline.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+
+	"staircase/internal/core"
+	"staircase/internal/engine"
+)
+
+// BenchPoint is one benchmark measurement, JSON-stable for baselines.
+type BenchPoint struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"nsPerOp"`
+}
+
+// Baseline is the persisted form of a gate run (BENCH_baseline.json).
+type Baseline struct {
+	Family string       `json:"family"`
+	SizeMB float64      `json:"sizeMB"`
+	Runs   int          `json:"runs"`
+	Points []BenchPoint `json:"points"`
+}
+
+// smokeSizeMB is the document size of the gate family: big enough that
+// per-op time is dominated by the join scans, small enough that the
+// whole gate (family × runs) finishes in well under a minute.
+const smokeSizeMB = 0.5
+
+// smokeFamily enumerates the gated benchmarks over one corpus document.
+func smokeFamily(c *Corpus) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	d := c.Doc(smokeSizeMB)
+	cx := getContexts(d)
+	e := engine.New(d)
+	evalQ := func(q string) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.EvalString(q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"StaircaseDescendant", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.DescendantJoin(d, cx.profiles, nil)
+			}
+		}},
+		{"StaircaseAncestor", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.AncestorJoin(d, cx.increases, nil)
+			}
+		}},
+		{"StaircaseFollowing", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.FollowingJoin(d, cx.increases, nil)
+			}
+		}},
+		{"StaircasePreceding", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.PrecedingJoin(d, cx.increases, nil)
+			}
+		}},
+		{"EngineQ1", evalQ(Q1)},
+		{"EngineQ2", evalQ(Q2)},
+	}
+}
+
+// RunSmoke measures the gate family. Each benchmark runs `runs` times
+// and the fastest run is reported — the same noise-robust statistic
+// timeIt uses for the paper experiments: scheduler preemption and
+// frequency scaling only ever make code *slower*, so the minimum tracks
+// the code's true cost far more stably than the mean (and, on shared
+// runners, than the median of few runs).
+func RunSmoke(c *Corpus, runs int) []BenchPoint {
+	if runs < 1 {
+		runs = 1
+	}
+	var points []BenchPoint
+	for _, bm := range smokeFamily(c) {
+		samples := make([]float64, 0, runs)
+		for r := 0; r < runs; r++ {
+			res := testing.Benchmark(bm.fn)
+			samples = append(samples, float64(res.NsPerOp()))
+		}
+		sort.Float64s(samples)
+		points = append(points, BenchPoint{Name: bm.name, NsPerOp: samples[0]})
+	}
+	return points
+}
+
+// CheckRegression compares current measurements against a baseline and
+// returns one message per benchmark regressing by more than tol
+// (0.25 = 25%). Benchmarks missing from the current run also fail;
+// benchmarks new since the baseline are ignored (they gate once the
+// baseline is regenerated).
+//
+// The baseline host and the measuring host (a CI runner) generally
+// differ in absolute speed, which shifts every benchmark of the family
+// by roughly the same factor. The check therefore normalises each
+// current/baseline ratio by the family's median ratio before applying
+// the tolerance — a code regression hits specific benchmarks and sticks
+// out of the family trend, while a uniformly slower machine does not.
+// The scale is clamped at 1 so that a uniformly *faster* machine (or a
+// PR that genuinely speeds up half the family) never turns unchanged
+// benchmarks into false regressions.
+func CheckRegression(baseline, current []BenchPoint, tol float64) []string {
+	cur := make(map[string]float64, len(current))
+	for _, p := range current {
+		cur[p.Name] = p.NsPerOp
+	}
+	var ratios []float64
+	for _, b := range baseline {
+		if c, ok := cur[b.Name]; ok && b.NsPerOp > 0 {
+			ratios = append(ratios, c/b.NsPerOp)
+		}
+	}
+	scale := 1.0
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		if m := ratios[len(ratios)/2]; m > scale {
+			scale = m
+		}
+	}
+	var failures []string
+	for _, b := range baseline {
+		c, ok := cur[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+			continue
+		}
+		if b.NsPerOp > 0 && c > b.NsPerOp*scale*(1+tol) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%% after %.2fx machine normalisation, limit +%.0f%%)",
+				b.Name, c, b.NsPerOp, 100*(c/(b.NsPerOp*scale)-1), scale, 100*tol))
+		}
+	}
+	return failures
+}
+
+// WriteBaseline serializes a gate run.
+func WriteBaseline(w io.Writer, points []BenchPoint, runs int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Baseline{
+		Family: "staircase-join-smoke",
+		SizeMB: smokeSizeMB,
+		Runs:   runs,
+		Points: points,
+	})
+}
+
+// ReadBaseline deserializes a gate baseline.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return Baseline{}, err
+	}
+	if len(b.Points) == 0 {
+		return Baseline{}, fmt.Errorf("baseline has no benchmark points")
+	}
+	return b, nil
+}

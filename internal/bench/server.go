@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"staircase/internal/catalog"
+	"staircase/internal/server"
+)
+
+// serverQueries is the repeated workload of the throughput experiment:
+// a mix of pushdown-friendly paths, ancestor steps, and wide
+// following-axis scans over the XMark vocabulary.
+var serverQueries = []string{
+	"/descendant::profile/descendant::education",
+	"/descendant::increase/ancestor::bidder",
+	"/descendant::keyword/ancestor::listitem",
+	"/descendant::bidder/descendant::increase",
+	"/descendant::seller/following::bidder",
+	"/descendant::education/preceding::interest",
+	"//person[profile/education]",
+	"/descendant::open_auction/descendant::bidder | /descendant::closed_auction/descendant::price",
+}
+
+// ServerThroughput measures end-to-end queries/sec of the xpathd HTTP
+// server — inter-query concurrency rather than the intra-query
+// parallelism of the "parallel" experiment. Each client count runs the
+// workload twice: cold (cache bypassed, every query evaluated) and warm
+// (result cache primed), the experiment behind the cache's ≥5×
+// acceptance bar. Node lists are truncated in responses (limit) so the
+// comparison measures cache lookup vs staircase evaluation, not JSON
+// encoding of large results.
+func ServerThroughput(c *Corpus, mb float64, clients []int) Table {
+	t := Table{
+		ID:     "server",
+		Title:  fmt.Sprintf("xpathd query server throughput, cold vs warm result cache (%.1f MB)", mb),
+		Header: []string{"clients", "mode", "queries", "time[ms]", "q/s", "warm/cold"},
+		Notes: []string{
+			"cold: every query evaluated (cache bypassed); warm: served from the sharded LRU result cache",
+			"HTTP transport and JSON framing included on both sides; batch size 8 per request",
+		},
+	}
+	cat := catalog.New(0)
+	if err := cat.AddDocument("xmark", c.Doc(mb)); err != nil {
+		panic(err)
+	}
+	srv := server.New(server.Config{Catalog: cat, CacheBytes: 256 << 20})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const rounds = 6 // workload repetitions per client per mode
+	run := func(nClients int, noCache bool) (int, time.Duration) {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < nClients; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := &http.Client{}
+				for r := 0; r < rounds; r++ {
+					body, err := json.Marshal(server.QueryRequest{
+						Doc: "xmark", Queries: serverQueries, NoCache: noCache, Limit: 4,
+					})
+					if err != nil {
+						panic(err)
+					}
+					resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+					if err != nil {
+						panic(err)
+					}
+					var out server.QueryResponse
+					if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+						panic(err)
+					}
+					resp.Body.Close()
+					for _, res := range out.Results {
+						if res.Error != "" {
+							panic(fmt.Sprintf("bench: server query %q: %s", res.Query, res.Error))
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return nClients * rounds * len(serverQueries), time.Since(start)
+	}
+
+	run(1, false) // prime the cache once for all warm runs
+	for _, k := range clients {
+		if k < 1 {
+			continue
+		}
+		nCold, cold := run(k, true)
+		nWarm, warm := run(k, false)
+		coldQPS := float64(nCold) / cold.Seconds()
+		warmQPS := float64(nWarm) / warm.Seconds()
+		t.Rows = append(t.Rows,
+			[]string{fmt.Sprint(k), "cold", fmt.Sprint(nCold), ms(cold), fmt.Sprintf("%.0f", coldQPS), ""},
+			[]string{fmt.Sprint(k), "warm", fmt.Sprint(nWarm), ms(warm), fmt.Sprintf("%.0f", warmQPS),
+				fmt.Sprintf("%.1fx", warmQPS/coldQPS)},
+		)
+	}
+	return t
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Binary persistence of the pre/post encoding. Shredding a large
@@ -91,15 +92,69 @@ func readString(r io.Reader) (string, error) {
 	if n > 1<<28 {
 		return "", fmt.Errorf("doc: unreasonable string length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	// Read in bounded chunks: a forged length on a truncated stream
+	// fails after one small allocation instead of committing 256 MB.
+	const chunk = 1 << 16
+	var sb strings.Builder
+	buf := make([]byte, min(int(n), chunk))
+	for remaining := int(n); remaining > 0; {
+		c := min(remaining, chunk)
+		if _, err := io.ReadFull(r, buf[:c]); err != nil {
+			return "", err
+		}
+		sb.Write(buf[:c])
+		remaining -= c
 	}
-	return string(buf), nil
+	return sb.String(), nil
+}
+
+// readInt32Col reads n little-endian int32s in bounded chunks, so a
+// corrupt node count on a short stream errors out after at most one
+// chunk's allocation rather than up-front gigabytes.
+func readInt32Col(r io.Reader, n int) ([]int32, error) {
+	const chunk = 1 << 20 // entries per read
+	if n <= chunk {
+		col := make([]int32, n)
+		if err := binary.Read(r, binary.LittleEndian, col); err != nil {
+			return nil, err
+		}
+		return col, nil
+	}
+	col := make([]int32, 0, chunk)
+	for remaining := n; remaining > 0; {
+		c := min(remaining, chunk)
+		part := make([]int32, c)
+		if err := binary.Read(r, binary.LittleEndian, part); err != nil {
+			return nil, err
+		}
+		col = append(col, part...)
+		remaining -= c
+	}
+	return col, nil
+}
+
+// readByteCol is readInt32Col for byte columns.
+func readByteCol(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 22
+	col := make([]byte, 0, min(n, chunk))
+	for remaining := n; remaining > 0; {
+		c := min(remaining, chunk)
+		col = append(col, make([]byte, c)...)
+		if _, err := io.ReadFull(r, col[len(col)-c:]); err != nil {
+			return nil, err
+		}
+		remaining -= c
+	}
+	return col, nil
 }
 
 // ReadBinary deserializes a document written by WriteBinary and
-// validates the encoding before returning it.
+// validates the encoding before returning it. Corrupt or truncated
+// input of any shape yields an error, never a panic or an unbounded
+// allocation: column and string reads are chunked against the stream,
+// the name dictionary must be duplicate-free and no larger than the
+// node count, and Validate rejects any encoding (ranks, levels, kinds,
+// name ids, height) that the accessors could not serve safely.
 func ReadBinary(r io.Reader) (*Document, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, 4)
@@ -114,6 +169,9 @@ func ReadBinary(r io.Reader) (*Document, error) {
 	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
 		return nil, err
 	}
+	if flags&^uint32(flagHasValues) != 0 {
+		return nil, fmt.Errorf("doc: unknown flags %#x", flags)
+	}
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
@@ -123,33 +181,30 @@ func ReadBinary(r io.Reader) (*Document, error) {
 	if n == 0 || n > 1<<30 {
 		return nil, fmt.Errorf("doc: unreasonable node count %d", n)
 	}
-	d := &Document{
-		post:   make([]int32, n),
-		level:  make([]int32, n),
-		parent: make([]int32, n),
-		kind:   make([]Kind, n),
-		name:   make([]int32, n),
-		names:  NewDict(),
-		height: height,
-	}
-	for _, col := range [][]int32{d.post, d.level, d.parent} {
-		if err := binary.Read(br, binary.LittleEndian, col); err != nil {
+	d := &Document{names: NewDict(), height: height}
+	var err error
+	for _, col := range []*[]int32{&d.post, &d.level, &d.parent} {
+		if *col, err = readInt32Col(br, int(n)); err != nil {
 			return nil, err
 		}
 	}
-	kinds := make([]byte, n)
-	if _, err := io.ReadFull(br, kinds); err != nil {
+	kinds, err := readByteCol(br, int(n))
+	if err != nil {
 		return nil, err
 	}
+	d.kind = make([]Kind, n)
 	for i, k := range kinds {
 		d.kind[i] = Kind(k)
 	}
-	if err := binary.Read(br, binary.LittleEndian, d.name); err != nil {
+	if d.name, err = readInt32Col(br, int(n)); err != nil {
 		return nil, err
 	}
 	var dictLen uint32
 	if err := binary.Read(br, binary.LittleEndian, &dictLen); err != nil {
 		return nil, err
+	}
+	if dictLen > n {
+		return nil, fmt.Errorf("doc: dictionary of %d names exceeds node count %d", dictLen, n)
 	}
 	for i := uint32(0); i < dictLen; i++ {
 		s, err := readString(br)
@@ -157,16 +212,20 @@ func ReadBinary(r io.Reader) (*Document, error) {
 			return nil, err
 		}
 		d.names.Intern(s)
+		if d.names.Len() != int(i)+1 {
+			return nil, fmt.Errorf("doc: duplicate dictionary entry %q", s)
+		}
 	}
 	if flags&flagHasValues != 0 {
-		d.value = make([]string, n)
-		for i := range d.value {
+		vals := make([]string, 0, min(int(n), 1<<20))
+		for i := 0; i < int(n); i++ {
 			s, err := readString(br)
 			if err != nil {
 				return nil, err
 			}
-			d.value[i] = s
+			vals = append(vals, s)
 		}
+		d.value = vals
 	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("doc: corrupt binary document: %w", err)

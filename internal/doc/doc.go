@@ -282,7 +282,18 @@ func (d *Document) Validate() error {
 		return fmt.Errorf("doc: empty document")
 	}
 	seenPost := make([]bool, n)
+	var maxLevel int32
 	for pre := 0; pre < n; pre++ {
+		if d.kind[pre] > VRoot {
+			return fmt.Errorf("doc: node %d: invalid kind %d", pre, d.kind[pre])
+		}
+		if id := d.name[pre]; id < NoName || int(id) >= d.names.Len() && id != NoName {
+			return fmt.Errorf("doc: node %d: name id %d outside dictionary (%d names)",
+				pre, id, d.names.Len())
+		}
+		if l := d.level[pre]; l > maxLevel {
+			maxLevel = l
+		}
 		post := d.post[pre]
 		if post < 0 || int(post) >= n {
 			return fmt.Errorf("doc: node %d: post rank %d out of range", pre, post)
@@ -329,6 +340,9 @@ func (d *Document) Validate() error {
 				return fmt.Errorf("doc: node %d: descendant %d outside size window", pre, last+1)
 			}
 		}
+	}
+	if maxLevel != d.height {
+		return fmt.Errorf("doc: height %d but maximum level is %d", d.height, maxLevel)
 	}
 	return nil
 }

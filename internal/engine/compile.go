@@ -1,0 +1,35 @@
+package engine
+
+import "staircase/internal/xpath"
+
+// Compiled is a parsed, reusable query handle. Parsing an XPath query
+// is pure — the AST references no document — so one Compiled can be
+// evaluated many times, concurrently, and against different engines.
+// Long-lived callers (the query server, benchmark loops) compile once
+// and skip the per-request parser work.
+type Compiled struct {
+	src string
+	q   xpath.Query
+}
+
+// Compile parses a query (a location path, or a union of paths combined
+// with '|') into a reusable handle.
+func Compile(query string) (*Compiled, error) {
+	q, err := xpath.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{src: query, q: q}, nil
+}
+
+// Source returns the query text the handle was compiled from.
+func (c *Compiled) Source() string { return c.src }
+
+// Query returns the parsed form.
+func (c *Compiled) Query() xpath.Query { return c.q }
+
+// EvalCompiled evaluates a compiled query with the document root as the
+// initial context, exactly as EvalString would for the same text.
+func (e *Engine) EvalCompiled(c *Compiled, opts *Options) (*Result, error) {
+	return e.EvalQuery(c.q, []int32{e.d.Root()}, opts)
+}

@@ -210,11 +210,11 @@ func (e *Engine) TagList(nameID int32) []int32 {
 // root; relative paths are evaluated with the root as the initial
 // context node as well (the conventional CLI behaviour).
 func (e *Engine) EvalString(query string, opts *Options) (*Result, error) {
-	q, err := xpath.ParseQuery(query)
+	c, err := Compile(query)
 	if err != nil {
 		return nil, err
 	}
-	return e.EvalQuery(q, []int32{e.d.Root()}, opts)
+	return e.EvalCompiled(c, opts)
 }
 
 // EvalQuery evaluates a union of paths: each path runs independently

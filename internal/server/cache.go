@@ -1,0 +1,138 @@
+package server
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+)
+
+// resultCache is a sharded LRU over evaluated node sequences. Sharding
+// keeps lock contention off the hot read path when many clients hit the
+// cache concurrently; each shard is an independent LRU with its own
+// slice of the byte budget.
+//
+// Keys are built by cacheKey from (document name, load generation,
+// strategy, pushdown, query text) — see docs/ARCHITECTURE.md for why
+// parallelism is deliberately *not* part of the key. Values are the
+// immutable result node slices; entries are charged 4 bytes per node
+// plus the key.
+type resultCache struct {
+	seed   maphash.Seed
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	ll       *list.List // front = most recent
+	m        map[string]*list.Element
+	bytes    int64
+	maxBytes int64
+}
+
+type cacheEntry struct {
+	key   string
+	nodes []int32
+	bytes int64
+}
+
+const cacheShards = 16
+
+// newResultCache builds a cache with the given total byte budget.
+// A budget <= 0 disables caching (Get always misses, Put drops).
+func newResultCache(maxBytes int64) *resultCache {
+	c := &resultCache{seed: maphash.MakeSeed()}
+	if maxBytes <= 0 {
+		return c
+	}
+	per := maxBytes / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c.shards = make([]cacheShard, cacheShards)
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].m = make(map[string]*list.Element)
+		c.shards[i].maxBytes = per
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	if len(c.shards) == 0 {
+		return nil
+	}
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// Get returns the cached nodes for key. Callers must not modify the
+// returned slice.
+func (c *resultCache) Get(key string) ([]int32, bool) {
+	s := c.shard(key)
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).nodes, true
+}
+
+// Put stores nodes under key, evicting least-recently-used entries to
+// stay within the shard budget. The slice is retained; callers must not
+// modify it afterwards.
+func (c *resultCache) Put(key string, nodes []int32) {
+	s := c.shard(key)
+	if s == nil {
+		return
+	}
+	cost := int64(len(key)) + 4*int64(len(nodes)) + 64
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cost > s.maxBytes {
+		return // would evict the whole shard for one entry
+	}
+	if el, ok := s.m[key]; ok {
+		s.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		s.bytes += cost - e.bytes
+		e.nodes, e.bytes = nodes, cost
+	} else {
+		s.m[key] = s.ll.PushFront(&cacheEntry{key: key, nodes: nodes, bytes: cost})
+		s.bytes += cost
+	}
+	for s.bytes > s.maxBytes {
+		el := s.ll.Back()
+		if el == nil {
+			break
+		}
+		e := s.ll.Remove(el).(*cacheEntry)
+		delete(s.m, e.key)
+		s.bytes -= e.bytes
+	}
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *resultCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the charged bytes across all shards.
+func (c *resultCache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].bytes
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

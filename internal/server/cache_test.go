@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.Put("k", []int32{1, 2, 3})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("disabled cache holds entries")
+	}
+}
+
+func TestCachePutGetOverwrite(t *testing.T) {
+	c := newResultCache(1 << 20)
+	c.Put("k", []int32{1, 2, 3})
+	got, ok := c.Get("k")
+	if !ok || len(got) != 3 || got[0] != 1 {
+		t.Fatalf("get: %v %v", got, ok)
+	}
+	c.Put("k", []int32{9})
+	if got, _ := c.Get("k"); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("overwrite: %v", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d after overwrite", c.Len())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	// Budget small enough that shards overflow: each entry costs
+	// ~64 + key + 4*nodes bytes, shard budget is total/16.
+	c := newResultCache(16 * 400)
+	nodes := make([]int32, 50) // ~270 bytes per entry
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), nodes)
+	}
+	if c.Len() >= 64 {
+		t.Fatalf("no eviction happened: %d entries", c.Len())
+	}
+	if c.Bytes() > 16*400 {
+		t.Fatalf("cache over budget: %d bytes", c.Bytes())
+	}
+	// An entry larger than a shard budget is refused outright.
+	c.Put("huge", make([]int32, 1<<10))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized entry was cached")
+	}
+}
+
+func TestCacheRecencyOrder(t *testing.T) {
+	// Single shard worth of keys: force same-shard collisions by using
+	// a cache with a tiny budget and probing which keys share a shard.
+	c := newResultCache(16 * 256)
+	var keys []string
+	for i := 0; len(keys) < 3 && i < 4096; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if c.shard(k) == &c.shards[0] {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < 3 {
+		t.Skip("hash seed produced too few shard-0 keys")
+	}
+	nodes := make([]int32, 30) // ~190 bytes: shard of 256 holds one
+	c.Put(keys[0], nodes)
+	c.Put(keys[1], nodes) // evicts keys[0]
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("LRU entry survived over-budget put")
+	}
+	if _, ok := c.Get(keys[1]); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+}

@@ -1,0 +1,78 @@
+package server
+
+import "sync"
+
+// wsem is a small weighted FIFO semaphore: the server's shared worker
+// budget. Inter-query concurrency and intra-query partition parallelism
+// compose through it — a request evaluating with engine parallelism p
+// holds p units for the duration of its evaluation, so the total number
+// of busy staircase-join workers across all in-flight queries never
+// exceeds the budget.
+//
+// Waiters are served strictly in arrival order (like
+// golang.org/x/sync/semaphore): a wide request at the head of the queue
+// blocks narrower requests behind it until it gets its units, so a
+// steady stream of narrow queries can never starve a wide one.
+type wsem struct {
+	mu      sync.Mutex
+	cap     int
+	used    int
+	waiters []*waiter // FIFO
+}
+
+type waiter struct {
+	n     int
+	ready chan struct{}
+}
+
+func newWsem(capacity int) *wsem {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &wsem{cap: capacity}
+}
+
+// acquire blocks until n units are available and takes them. n is
+// clamped to the capacity so an over-wide request degrades to whole-pool
+// exclusivity instead of deadlocking.
+func (s *wsem) acquire(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cap {
+		n = s.cap
+	}
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.used+n <= s.cap {
+		s.used += n
+		s.mu.Unlock()
+		return n
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	<-w.ready
+	return n
+}
+
+func (s *wsem) release(n int) {
+	s.mu.Lock()
+	s.used -= n
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.used+w.n > s.cap {
+			break // FIFO: the head waits for its full grant
+		}
+		s.used += w.n
+		s.waiters = s.waiters[1:]
+		close(w.ready)
+	}
+	s.mu.Unlock()
+}
+
+// inUse reports the currently held units (metrics).
+func (s *wsem) inUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func (s *wsem) waiterCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWsemFIFO pins the no-starvation property: a wide request at the
+// head of the queue is served before narrower requests that arrived
+// after it, even while units keep becoming available.
+func TestWsemFIFO(t *testing.T) {
+	s := newWsem(2)
+	if got := s.acquire(5); got != 2 {
+		t.Fatalf("acquire clamped to %d, want 2", got)
+	}
+	if s.inUse() != 2 {
+		t.Fatalf("inUse %d, want 2", s.inUse())
+	}
+
+	wide := make(chan struct{})
+	go func() { s.acquire(2); close(wide) }()
+	waitFor(t, "wide waiter", func() bool { return s.waiterCount() == 1 })
+
+	narrow := make(chan struct{})
+	go func() { s.acquire(1); close(narrow) }()
+	waitFor(t, "narrow waiter", func() bool { return s.waiterCount() == 2 })
+
+	// One unit free: the wide head still lacks units, and FIFO means the
+	// narrow request behind it must NOT jump the queue.
+	s.release(1)
+	select {
+	case <-wide:
+		t.Fatal("wide waiter granted with only 1 unit free")
+	case <-narrow:
+		t.Fatal("narrow waiter jumped the FIFO queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	s.release(1) // both units free: the wide head gets its grant
+	<-wide
+	select {
+	case <-narrow:
+		t.Fatal("narrow waiter granted while wide holds the full budget")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	s.release(2)
+	<-narrow
+	s.release(1)
+	if s.inUse() != 0 {
+		t.Fatalf("inUse %d after all releases, want 0", s.inUse())
+	}
+}

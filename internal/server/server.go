@@ -1,0 +1,473 @@
+// Package server exposes the catalog and engine as a long-lived HTTP
+// query service — the front door of cmd/xpathd. It is the layer the
+// paper's framing implies but never builds: the staircase join as the
+// axis-step workhorse *inside* a system answering many concurrent
+// queries over many documents.
+//
+// The design leans on one fact: documents are immutable after
+// shredding, so query evaluation needs no locking at all — concurrency
+// control collapses into catalog lookup. Three shared structures do the
+// rest:
+//
+//   - a compiled-query LRU, so the parser runs once per distinct query
+//     text rather than once per request;
+//   - a sharded LRU result cache keyed on (doc, generation, strategy,
+//     pushdown, query) — see docs/ARCHITECTURE.md for the key design;
+//   - a weighted worker semaphore that both inter-query concurrency and
+//     intra-query partition parallelism (engine.Options.Parallelism)
+//     draw from, so a burst of wide parallel queries cannot oversubscribe
+//     the machine.
+//
+// Endpoints: POST /query (single or batched queries against one
+// document), GET /explain, GET /docs, GET /healthz, GET /metrics.
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"staircase/internal/catalog"
+	"staircase/internal/engine"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Catalog provides the named documents. Required.
+	Catalog *catalog.Catalog
+	// CacheBytes is the result-cache budget in bytes; <= 0 disables the
+	// cache.
+	CacheBytes int64
+	// Workers is the shared worker budget for query evaluation; <= 0
+	// defaults to GOMAXPROCS.
+	Workers int
+	// DefaultParallelism is the engine parallelism applied when a
+	// request does not set one (0 = serial, engine.AutoParallelism = all
+	// cores, clamped by the worker budget).
+	DefaultParallelism int
+	// MaxBatch caps the number of queries in one POST /query request;
+	// <= 0 defaults to 256.
+	MaxBatch int
+}
+
+// Server is the HTTP query service. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cat   *catalog.Catalog
+	cache *resultCache
+	pool  *wsem
+	start time.Time
+
+	compiledMu sync.Mutex
+	compiled   map[string]*list.Element
+	compiledLL *list.List // front = most recent; values are *compiledEntry
+
+	queries     atomic.Int64
+	batches     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	errors      atomic.Int64
+}
+
+type compiledEntry struct {
+	src string
+	c   *engine.Compiled
+}
+
+// maxCompiled bounds the compiled-query LRU; distinct query texts
+// beyond this evict the least recently used handle.
+const maxCompiled = 1024
+
+// New returns a server over the catalog.
+func New(cfg Config) *Server {
+	if cfg.Catalog == nil {
+		panic("server: Config.Catalog is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	return &Server{
+		cfg:        cfg,
+		cat:        cfg.Catalog,
+		cache:      newResultCache(cfg.CacheBytes),
+		pool:       newWsem(workers),
+		start:      time.Now(),
+		compiled:   make(map[string]*list.Element),
+		compiledLL: list.New(),
+	}
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /docs", s.handleDocs)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// QueryOptions selects the evaluation configuration, mirroring
+// engine.Options with JSON-friendly names.
+type QueryOptions struct {
+	// Strategy: staircase (default), staircase-skip, staircase-noskip,
+	// naive, sql, sql-window.
+	Strategy string `json:"strategy,omitempty"`
+	// Pushdown: auto (default), always, never.
+	Pushdown string `json:"pushdown,omitempty"`
+	// Parallelism: 0/1 serial, N > 1 up to N staircase-join workers,
+	// -1 all cores. Clamped to the server's worker budget.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// QueryRequest is the POST /query body. Query and Queries may be
+// combined; all run against the one named document.
+type QueryRequest struct {
+	Doc     string        `json:"doc"`
+	Query   string        `json:"query,omitempty"`
+	Queries []string      `json:"queries,omitempty"`
+	Options *QueryOptions `json:"options,omitempty"`
+	// NoCache bypasses the result cache (no lookup, no store).
+	NoCache bool `json:"noCache,omitempty"`
+	// Limit truncates the node list in each result (count is always the
+	// full cardinality); 0 returns all nodes.
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryResult is the outcome of one query of a batch.
+type QueryResult struct {
+	Query     string  `json:"query"`
+	Count     int     `json:"count"`
+	Nodes     []int32 `json:"nodes"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Cached    bool    `json:"cached"`
+	ElapsedNs int64   `json:"elapsedNs"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// QueryResponse is the POST /query response. Results align with the
+// request's query order (Query first, then Queries).
+type QueryResponse struct {
+	Doc        string        `json:"doc"`
+	Generation uint64        `json:"generation"`
+	Results    []QueryResult `json:"results"`
+}
+
+var strategies = map[string]engine.Strategy{
+	"":                 engine.Staircase,
+	"staircase":        engine.Staircase,
+	"staircase-skip":   engine.StaircaseSkip,
+	"staircase-noskip": engine.StaircaseNoSkip,
+	"naive":            engine.Naive,
+	"sql":              engine.SQL,
+	"sql-window":       engine.SQLWindow,
+}
+
+var pushdowns = map[string]engine.Pushdown{
+	"":       engine.PushAuto,
+	"auto":   engine.PushAuto,
+	"always": engine.PushAlways,
+	"never":  engine.PushNever,
+}
+
+// engineOptions resolves request options against server defaults and
+// clamps parallelism to the worker budget: the engine never spawns more
+// join workers for one query than the units the query holds in the
+// pool, keeping the "cannot oversubscribe the machine" contract honest.
+func (s *Server) engineOptions(o *QueryOptions) (*engine.Options, error) {
+	opts := &engine.Options{Parallelism: s.cfg.DefaultParallelism}
+	if o != nil {
+		strat, ok := strategies[o.Strategy]
+		if !ok {
+			return nil, fmt.Errorf("unknown strategy %q", o.Strategy)
+		}
+		push, ok := pushdowns[o.Pushdown]
+		if !ok {
+			return nil, fmt.Errorf("unknown pushdown mode %q", o.Pushdown)
+		}
+		opts.Strategy = strat
+		opts.Pushdown = push
+		if o.Parallelism != 0 {
+			opts.Parallelism = o.Parallelism
+		}
+	}
+	p := opts.Parallelism
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > s.pool.cap {
+		p = s.pool.cap
+	}
+	if p < 1 {
+		p = 1
+	}
+	opts.Parallelism = p
+	return opts, nil
+}
+
+// workerCost is the number of worker-budget units a query holds while
+// evaluating: its effective intra-query parallelism (engineOptions has
+// already resolved and clamped it).
+func workerCost(opts *engine.Options) int {
+	return opts.Parallelism
+}
+
+// cacheKey builds the result-cache key. Document generation guards
+// against reload-after-eviction serving stale results; parallelism is
+// deliberately excluded (parallel evaluation is property-tested to be
+// byte-identical to serial).
+func cacheKey(docName string, gen uint64, opts *engine.Options, query string) string {
+	var sb strings.Builder
+	sb.Grow(len(docName) + len(query) + 32)
+	sb.WriteString(docName)
+	sb.WriteByte(0)
+	sb.WriteString(strconv.FormatUint(gen, 10))
+	sb.WriteByte(0)
+	sb.WriteString(opts.Strategy.String())
+	sb.WriteByte(0)
+	sb.WriteString(opts.Pushdown.String())
+	sb.WriteByte(0)
+	sb.WriteString(query)
+	return sb.String()
+}
+
+// compile returns a compiled handle for the query text, LRU-cached.
+func (s *Server) compile(query string) (*engine.Compiled, error) {
+	s.compiledMu.Lock()
+	if el, ok := s.compiled[query]; ok {
+		s.compiledLL.MoveToFront(el)
+		c := el.Value.(*compiledEntry).c
+		s.compiledMu.Unlock()
+		return c, nil
+	}
+	s.compiledMu.Unlock()
+
+	c, err := engine.Compile(query) // parse outside the lock
+	if err != nil {
+		return nil, err
+	}
+
+	s.compiledMu.Lock()
+	defer s.compiledMu.Unlock()
+	if el, ok := s.compiled[query]; ok { // raced: keep the first
+		s.compiledLL.MoveToFront(el)
+		return el.Value.(*compiledEntry).c, nil
+	}
+	s.compiled[query] = s.compiledLL.PushFront(&compiledEntry{src: query, c: c})
+	for len(s.compiled) > maxCompiled {
+		el := s.compiledLL.Back()
+		e := s.compiledLL.Remove(el).(*compiledEntry)
+		delete(s.compiled, e.src)
+	}
+	return c, nil
+}
+
+// evalOne answers a single query of a batch: result cache, then
+// compile + evaluate under the worker budget.
+func (s *Server) evalOne(h *catalog.Handle, query string, opts *engine.Options, noCache bool) QueryResult {
+	start := time.Now()
+	res := QueryResult{Query: query}
+	key := cacheKey(h.Name(), h.Generation(), opts, query)
+	if !noCache {
+		if nodes, ok := s.cache.Get(key); ok {
+			s.cacheHits.Add(1)
+			res.Nodes = nodes
+			res.Count = len(nodes)
+			res.Cached = true
+			res.ElapsedNs = time.Since(start).Nanoseconds()
+			return res
+		}
+		s.cacheMisses.Add(1)
+	}
+	c, err := s.compile(query)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	cost := s.pool.acquire(workerCost(opts))
+	r, err := h.Engine().EvalCompiled(c, opts)
+	s.pool.release(cost)
+	elapsed := time.Since(start)
+	h.RecordQuery(elapsed)
+	res.ElapsedNs = elapsed.Nanoseconds()
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Nodes = r.Nodes
+	res.Count = len(r.Nodes)
+	if !noCache {
+		s.cache.Put(key, r.Nodes)
+	}
+	return res
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	queries := req.Queries
+	if req.Query != "" {
+		queries = append([]string{req.Query}, queries...)
+	}
+	if len(queries) == 0 {
+		s.fail(w, http.StatusBadRequest, "no query given")
+		return
+	}
+	if len(queries) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(queries), s.cfg.MaxBatch)
+		return
+	}
+	opts, err := s.engineOptions(req.Options)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h, err := s.cat.Open(req.Doc)
+	if err != nil {
+		s.fail(w, openStatus(err), "%v", err)
+		return
+	}
+	defer h.Close()
+
+	resp := QueryResponse{Doc: h.Name(), Generation: h.Generation(), Results: make([]QueryResult, len(queries))}
+	// Each batch item is an independent goroutine; the worker semaphore
+	// inside evalOne bounds how many actually evaluate at once.
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			resp.Results[i] = s.evalOne(h, q, opts, req.NoCache)
+		}(i, q)
+	}
+	wg.Wait()
+
+	s.queries.Add(int64(len(queries)))
+	if len(queries) > 1 {
+		s.batches.Add(1)
+	}
+	for i := range resp.Results {
+		res := &resp.Results[i]
+		if res.Error != "" {
+			s.errors.Add(1)
+		}
+		if req.Limit > 0 && len(res.Nodes) > req.Limit {
+			res.Nodes = res.Nodes[:req.Limit]
+			res.Truncated = true
+		}
+		if res.Nodes == nil {
+			res.Nodes = []int32{} // marshal as [] rather than null
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	query := q.Get("q")
+	if query == "" {
+		s.fail(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	par := 0
+	if v := q.Get("parallelism"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad parallelism %q", v)
+			return
+		}
+		par = n
+	}
+	opts, err := s.engineOptions(&QueryOptions{
+		Strategy:    q.Get("strategy"),
+		Pushdown:    q.Get("pushdown"),
+		Parallelism: par,
+	})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h, err := s.cat.Open(q.Get("doc"))
+	if err != nil {
+		s.fail(w, openStatus(err), "%v", err)
+		return
+	}
+	defer h.Close()
+	out, err := h.Engine().Explain(query, opts)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}
+
+func (s *Server) handleDocs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"docs": s.cat.Info()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
+		"docs":          len(s.cat.Names()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	emit := func(name string, v int64) { fmt.Fprintf(w, "xpathd_%s %d\n", name, v) }
+	emit("queries_total", s.queries.Load())
+	emit("batch_requests_total", s.batches.Load())
+	emit("cache_hits_total", s.cacheHits.Load())
+	emit("cache_misses_total", s.cacheMisses.Load())
+	emit("cache_entries", int64(s.cache.Len()))
+	emit("cache_bytes", s.cache.Bytes())
+	emit("errors_total", s.errors.Load())
+	emit("workers_in_use", int64(s.pool.inUse()))
+	emit("workers_capacity", int64(s.pool.cap))
+	emit("catalog_resident_bytes", s.cat.ResidentBytes())
+	emit("uptime_seconds", int64(time.Since(s.start).Seconds()))
+}
+
+// CacheStats reports result-cache hit/miss counters (tests, benchmarks).
+func (s *Server) CacheStats() (hits, misses int64) {
+	return s.cacheHits.Load(), s.cacheMisses.Load()
+}
+
+// openStatus maps a catalog.Open error to an HTTP status: unknown
+// names are the client's fault, load failures are the server's.
+func openStatus(err error) int {
+	if errors.Is(err, catalog.ErrUnknownDocument) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errors.Add(1)
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,415 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"staircase/internal/catalog"
+	"staircase/internal/engine"
+	"staircase/internal/xmark"
+)
+
+// newTestServer builds a server over generated XMark documents: "mem"
+// is pinned in memory, "disk" is registered from an XML file so the
+// lazy-load path runs too. It returns the server, the HTTP test server,
+// and a serial reference engine per document.
+func newTestServer(t testing.TB, cacheBytes int64) (*Server, *httptest.Server, map[string]*engine.Engine) {
+	t.Helper()
+	cat := catalog.New(0)
+	ref := make(map[string]*engine.Engine)
+
+	dm, err := xmark.Generate(xmark.Config{SizeMB: 0.08, Seed: 1, KeepValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddDocument("mem", dm); err != nil {
+		t.Fatal(err)
+	}
+	ref["mem"] = engine.New(dm)
+
+	path := filepath.Join(t.TempDir(), "disk.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xmark.Write(f, xmark.Config{SizeMB: 0.12, Seed: 2, KeepValues: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("disk", path, catalog.FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	h, err := cat.Open("disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	ref["disk"] = engine.New(h.Document())
+
+	s := New(Config{Catalog: cat, CacheBytes: cacheBytes})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, ref
+}
+
+func postQuery(t testing.TB, url string, req QueryRequest) (QueryResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return out, resp.StatusCode
+}
+
+func sameNodes(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuerySingleBatchAndCache(t *testing.T) {
+	s, ts, ref := newTestServer(t, 1<<20)
+	const q1 = "/descendant::profile/descendant::education"
+	const q2 = "/descendant::increase/ancestor::bidder"
+
+	want1, err := ref["mem"].EvalString(q1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, code := postQuery(t, ts.URL, QueryRequest{Doc: "mem", Query: q1})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Error != "" {
+		t.Fatalf("results: %+v", resp.Results)
+	}
+	if resp.Results[0].Cached {
+		t.Fatal("first evaluation reported cached")
+	}
+	if !sameNodes(resp.Results[0].Nodes, want1.Nodes) {
+		t.Fatal("server nodes differ from engine nodes")
+	}
+
+	// Second time: cache hit, identical nodes.
+	resp, _ = postQuery(t, ts.URL, QueryRequest{Doc: "mem", Query: q1})
+	if !resp.Results[0].Cached {
+		t.Fatal("repeat evaluation not served from cache")
+	}
+	if !sameNodes(resp.Results[0].Nodes, want1.Nodes) {
+		t.Fatal("cached nodes differ")
+	}
+	if hits, _ := s.CacheStats(); hits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+
+	// Batch: order preserved, one bad query fails alone.
+	resp, code = postQuery(t, ts.URL, QueryRequest{Doc: "mem", Queries: []string{q2, "///", q1}})
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("batch returned %d results", len(resp.Results))
+	}
+	if resp.Results[0].Query != q2 || resp.Results[2].Query != q1 {
+		t.Fatal("batch result order not preserved")
+	}
+	if resp.Results[1].Error == "" {
+		t.Fatal("malformed query in batch did not report an error")
+	}
+	if resp.Results[1].Count != 0 || len(resp.Results[1].Nodes) != 0 {
+		t.Fatal("failed query carried nodes")
+	}
+	if !sameNodes(resp.Results[2].Nodes, want1.Nodes) {
+		t.Fatal("batch nodes differ")
+	}
+
+	// Limit truncates nodes but keeps the full count.
+	resp, _ = postQuery(t, ts.URL, QueryRequest{Doc: "mem", Query: q1, Limit: 1})
+	r := resp.Results[0]
+	if r.Count != len(want1.Nodes) || len(r.Nodes) != 1 || !r.Truncated {
+		t.Fatalf("limit handling: %+v", r)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t, 0)
+	if _, code := postQuery(t, ts.URL, QueryRequest{Doc: "nope", Query: "/descendant::a"}); code != http.StatusNotFound {
+		t.Fatalf("unknown doc: status %d", code)
+	}
+	if _, code := postQuery(t, ts.URL, QueryRequest{Doc: "mem"}); code != http.StatusBadRequest {
+		t.Fatalf("empty query: status %d", code)
+	}
+	if _, code := postQuery(t, ts.URL, QueryRequest{
+		Doc: "mem", Query: "/descendant::a",
+		Options: &QueryOptions{Strategy: "quantum"},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("bad strategy: status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: status %d", resp.StatusCode)
+	}
+}
+
+func TestExplainDocsHealthMetrics(t *testing.T) {
+	_, ts, _ := newTestServer(t, 1<<20)
+	get := func(path string) (string, int) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.StatusCode
+	}
+	body, code := get("/explain?doc=mem&q=/descendant::increase/ancestor::bidder&parallelism=2")
+	if code != http.StatusOK || !bytes.Contains([]byte(body), []byte("staircase join")) {
+		t.Fatalf("explain: %d %q", code, body)
+	}
+	if _, code = get("/explain?doc=mem"); code != http.StatusBadRequest {
+		t.Fatalf("explain without q: %d", code)
+	}
+	body, code = get("/docs")
+	if code != http.StatusOK || !bytes.Contains([]byte(body), []byte(`"mem"`)) || !bytes.Contains([]byte(body), []byte(`"disk"`)) {
+		t.Fatalf("docs: %d %q", code, body)
+	}
+	if body, code = get("/healthz"); code != http.StatusOK || !bytes.Contains([]byte(body), []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	postQuery(t, ts.URL, QueryRequest{Doc: "mem", Query: "/descendant::person"})
+	body, code = get("/metrics")
+	if code != http.StatusOK || !bytes.Contains([]byte(body), []byte("xpathd_queries_total")) {
+		t.Fatalf("metrics: %d %q", code, body)
+	}
+}
+
+// xmarkTags is a slice of tag names the generator emits — the
+// vocabulary for randomized queries.
+var xmarkTags = []string{
+	"person", "profile", "education", "bidder", "increase", "item",
+	"open_auction", "closed_auction", "category", "keyword", "seller",
+	"annotation", "description", "interest", "watch", "mail", "nosuchtag",
+}
+
+// randomQuery builds a parseable query from templates over the XMark
+// vocabulary, covering all four partitioning axes, unions, predicates,
+// and child/attribute steps.
+func randomQuery(rng *rand.Rand) string {
+	a := xmarkTags[rng.Intn(len(xmarkTags))]
+	b := xmarkTags[rng.Intn(len(xmarkTags))]
+	switch rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("/descendant::%s", a)
+	case 1:
+		return fmt.Sprintf("/descendant::%s/ancestor::%s", a, b)
+	case 2:
+		return fmt.Sprintf("/descendant::%s/descendant::%s", a, b)
+	case 3:
+		return fmt.Sprintf("/descendant::%s/following::%s", a, b)
+	case 4:
+		return fmt.Sprintf("/descendant::%s/preceding::%s", a, b)
+	case 5:
+		return fmt.Sprintf("//%s[%s]", a, b)
+	case 6:
+		return fmt.Sprintf("/descendant::%s | /descendant::%s", a, b)
+	default:
+		return fmt.Sprintf("/descendant::%s/child::%s", a, b)
+	}
+}
+
+var propStrategies = []string{"staircase", "staircase-skip", "staircase-noskip", "sql", "sql-window"}
+
+// TestConcurrentClientsMatchSerial is the server-concurrency property
+// test: N concurrent clients issue randomized (doc, query, options)
+// batches and every result must be byte-identical to a serial
+// engine.Eval of the same query — across strategies, pushdown modes,
+// parallelism degrees, and cache hits/misses. Run under -race in CI.
+func TestConcurrentClientsMatchSerial(t *testing.T) {
+	_, ts, ref := newTestServer(t, 1<<20)
+
+	// Serial reference results, memoized per (doc, query).
+	var memoMu sync.Mutex
+	memo := make(map[string][]int32)
+	expect := func(docName, query string) []int32 {
+		memoMu.Lock()
+		nodes, ok := memo[docName+"\x00"+query]
+		memoMu.Unlock()
+		if ok {
+			return nodes
+		}
+		r, err := ref[docName].EvalString(query, nil) // serial defaults
+		if err != nil {
+			t.Errorf("reference eval %q: %v", query, err)
+			return nil
+		}
+		memoMu.Lock()
+		memo[docName+"\x00"+query] = r.Nodes
+		memoMu.Unlock()
+		return r.Nodes
+	}
+
+	const clients = 8
+	reqs := 40
+	if testing.Short() {
+		reqs = 10
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			client := &http.Client{}
+			for i := 0; i < reqs; i++ {
+				docName := []string{"mem", "disk"}[rng.Intn(2)]
+				n := 1 + rng.Intn(4)
+				queries := make([]string, n)
+				for j := range queries {
+					queries[j] = randomQuery(rng)
+				}
+				req := QueryRequest{
+					Doc:     docName,
+					Queries: queries,
+					NoCache: rng.Intn(3) == 0,
+					Options: &QueryOptions{
+						Strategy:    propStrategies[rng.Intn(len(propStrategies))],
+						Pushdown:    []string{"auto", "always", "never"}[rng.Intn(3)],
+						Parallelism: []int{0, 2, 4, -1}[rng.Intn(4)],
+					},
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var out QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: status %d", c, resp.StatusCode)
+					return
+				}
+				for j, res := range out.Results {
+					if res.Error != "" {
+						t.Errorf("client %d: query %q: %s", c, queries[j], res.Error)
+						continue
+					}
+					if want := expect(docName, queries[j]); !sameNodes(res.Nodes, want) {
+						t.Errorf("client %d: %s %q (%+v): got %d nodes, want %d — results diverge from serial evaluation",
+							c, docName, queries[j], *req.Options, len(res.Nodes), len(want))
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestWarmCacheThroughput checks the acceptance bar: a warm result
+// cache must serve at least 5× the queries/sec of the cold path for a
+// repeated workload. Limit keeps response encoding out of the measured
+// difference — the comparison is cache lookup vs staircase evaluation.
+func TestWarmCacheThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement in -short mode")
+	}
+	cat := catalog.New(0)
+	d, err := xmark.Generate(xmark.Config{SizeMB: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddDocument("x", d); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Catalog: cat, CacheBytes: 64 << 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	queries := make([]string, 0, 30)
+	for _, tag := range []string{"education", "bidder", "increase", "item", "keyword"} {
+		queries = append(queries,
+			fmt.Sprintf("/descendant::profile/descendant::%s", tag),
+			fmt.Sprintf("/descendant::%s/ancestor::open_auction", tag),
+			fmt.Sprintf("/descendant::%s/following::bidder", tag),
+		)
+	}
+	round := func(noCache bool) time.Duration {
+		start := time.Now()
+		resp, code := postQuery(t, ts.URL, QueryRequest{Doc: "x", Queries: queries, NoCache: noCache, Limit: 4})
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		for _, r := range resp.Results {
+			if r.Error != "" {
+				t.Fatalf("query %q: %s", r.Query, r.Error)
+			}
+		}
+		return time.Since(start)
+	}
+
+	const coldRounds, warmRounds = 3, 9
+	var cold time.Duration
+	for i := 0; i < coldRounds; i++ {
+		cold += round(true)
+	}
+	round(false) // prime the cache
+	var warm time.Duration
+	for i := 0; i < warmRounds; i++ {
+		warm += round(false)
+	}
+	coldQPS := float64(coldRounds*len(queries)) / cold.Seconds()
+	warmQPS := float64(warmRounds*len(queries)) / warm.Seconds()
+	t.Logf("cold %.0f q/s, warm %.0f q/s (%.1fx)", coldQPS, warmQPS, warmQPS/coldQPS)
+	if warmQPS < 5*coldQPS {
+		t.Fatalf("warm cache %.0f q/s < 5x cold %.0f q/s", warmQPS, coldQPS)
+	}
+	if hits, _ := s.CacheStats(); hits == 0 {
+		t.Fatal("warm rounds recorded no cache hits")
+	}
+}
