@@ -21,6 +21,7 @@ import (
 	"staircase/internal/doc"
 	"staircase/internal/engine"
 	"staircase/internal/frag"
+	"staircase/internal/index"
 )
 
 // benchSizes is the document sweep for benchmarks (MB equivalents).
@@ -313,6 +314,54 @@ func BenchmarkParallelEngineQ1(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- tag/kind index: zero-rescan pushdown ------------------------------------
+
+// BenchmarkEnginePushdownWarm measures Q1 with name-test pushdown
+// served by the shared per-document index (the steady state every
+// query after document load sees).
+func BenchmarkEnginePushdownWarm(b *testing.B) {
+	forSizes(b, func(b *testing.B, c benchCtx) {
+		c.d.TagIndex() // warm outside the timed loop
+		opts := &engine.Options{Pushdown: engine.PushAlways}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.eng.EvalString(bench.Q1, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEnginePushdownCold measures the rescan baseline: every
+// pushed step rebuilds its tag fragment with an O(n) name-column scan,
+// which is what each cold engine (per doc load, per xpathd reload)
+// used to pay before the index became a shared document structure.
+func BenchmarkEnginePushdownCold(b *testing.B) {
+	forSizes(b, func(b *testing.B, c benchCtx) {
+		opts := &engine.Options{Pushdown: engine.PushAlways, NoIndex: true}
+		for i := 0; i < b.N; i++ {
+			if _, err := c.eng.EvalString(bench.Q1, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIndexBuild measures the one-off O(n) index construction the
+// warm path amortises (also the in-memory cost of loading a v1/SCJ1
+// file, which carries no index section).
+func BenchmarkIndexBuild(b *testing.B) {
+	forSizes(b, func(b *testing.B, c benchCtx) {
+		for i := 0; i < b.N; i++ {
+			ix := index.Build(c.d.KindSlice(), c.d.NameSlice(), c.d.Names().Len(), doc.NumKinds, doc.Elem)
+			if ix.Entries() != int64(c.d.Size()) {
+				b.Fatal("incomplete index")
+			}
+		}
+		b.ReportMetric(float64(c.d.Size())/float64(b.Elapsed().Nanoseconds()/int64(b.N))*1000, "Mnodes/s")
+	})
 }
 
 // --- §4.2 ablation: copy phase vs scan phase ---------------------------------

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|parallel|copyscan|mpmgjn|storage|server]
+//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|index|parallel|copyscan|mpmgjn|storage|server]
 //	         [-sizes 0.5,1,2,4] [-parallel-size 4] [-workers 1,2,4,8] [-clients 1,2,4,8]
 //	         [-parallel N] [-out file] [-json]
 //
@@ -21,14 +21,19 @@
 // Regression gate:
 //
 //	benchrun -write-baseline BENCH_baseline.json [-gate-runs 5]
-//	benchrun -gate BENCH_baseline.json [-gate-runs 5] [-gate-tol 0.25] [-gate-out current.json]
+//	benchrun -gate BENCH_baseline.json [-gate-runs 5] [-gate-tol 0.25]
+//	         [-gate-out current.json] [-compare-out compare.json]
 //
 // The gate measures the staircase-join benchmark family (the four
-// partitioning-axis joins plus Q1/Q2 engine evaluation), takes the
-// fastest ns/op of -gate-runs runs per benchmark, normalises for the
-// speed difference between the baseline host and this host (the
-// family-median ratio), and exits non-zero if any benchmark regresses
-// by more than -gate-tol versus the baseline.
+// partitioning-axis joins, Q1/Q2 engine evaluation, and the tag/kind
+// index family: warm index-backed pushdown, the cold rescan baseline,
+// and index construction), takes the fastest ns/op of -gate-runs runs
+// per benchmark, normalises for the speed difference between the
+// baseline host and this host (the family-median ratio), and exits
+// non-zero if any benchmark regresses by more than -gate-tol versus
+// the baseline. -compare-out records the full per-benchmark comparison
+// (baseline, current, raw and normalised ratios, verdict) as JSON — CI
+// publishes it as a per-PR artifact.
 package main
 
 import (
@@ -69,7 +74,7 @@ func parseInts(s string) ([]int, error) {
 
 // runGate executes the benchmark-regression gate and returns the
 // process exit code.
-func runGate(c *bench.Corpus, baselinePath, writePath, outPath string, runs int, tol float64) int {
+func runGate(c *bench.Corpus, baselinePath, writePath, outPath, comparePath string, runs int, tol float64) int {
 	if writePath != "" {
 		points := bench.RunSmoke(c, runs)
 		f, err := os.Create(writePath)
@@ -110,25 +115,42 @@ func runGate(c *bench.Corpus, baselinePath, writePath, outPath string, runs int,
 			return 1
 		}
 	}
-	base := make(map[string]float64, len(baseline.Points))
-	for _, p := range baseline.Points {
-		base[p.Name] = p.NsPerOp
-	}
-	for _, p := range points {
-		delta := "new"
-		if b, ok := base[p.Name]; ok && b > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(p.NsPerOp/b-1))
+	cmp := bench.Compare(baseline, points, tol)
+	for _, p := range cmp.Points {
+		switch {
+		case p.New:
+			fmt.Printf("%-22s %12.0f ns/op  (new vs baseline)\n", p.Name, p.CurrentNs)
+		case p.Missing:
+			fmt.Printf("%-22s %12s         (in baseline, not measured)\n", p.Name, "-")
+		default:
+			fmt.Printf("%-22s %12.0f ns/op  (%+.1f%% vs baseline)\n", p.Name, p.CurrentNs, 100*(p.Ratio-1))
 		}
-		fmt.Printf("%-22s %12.0f ns/op  (%s vs baseline)\n", p.Name, p.NsPerOp, delta)
 	}
-	if failures := bench.CheckRegression(baseline.Points, points, tol); len(failures) > 0 {
+	if comparePath != "" {
+		// The full baseline-vs-current record: CI publishes it per PR so
+		// the perf trajectory of the gated family stays inspectable.
+		cf, err := os.Create(comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+		enc := json.NewEncoder(cf)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(cmp)
+		cf.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			return 1
+		}
+	}
+	if !cmp.Passed {
 		fmt.Fprintln(os.Stderr, "benchrun: benchmark regression gate FAILED:")
-		for _, f := range failures {
+		for _, f := range cmp.Failures {
 			fmt.Fprintln(os.Stderr, "  "+f)
 		}
 		return 1
 	}
-	fmt.Printf("gate passed: no benchmark regressed by more than %.0f%%\n", 100*tol)
+	fmt.Printf("gate passed: no benchmark regressed by more than %.0f%% (machine scale %.2fx)\n", 100*tol, cmp.Scale)
 	return 0
 }
 
@@ -144,13 +166,14 @@ func main() {
 	gate := flag.String("gate", "", "run the benchmark-regression gate against this baseline file")
 	writeBaseline := flag.String("write-baseline", "", "measure the gate family and write a baseline file")
 	gateOut := flag.String("gate-out", "", "with -gate: also write the current measurements to this file")
+	compareOut := flag.String("compare-out", "", "with -gate: write the full baseline-vs-current comparison (per-benchmark ratios, machine scale, verdict) as JSON")
 	gateRuns := flag.Int("gate-runs", 5, "gate runs per benchmark (the fastest run is compared)")
 	gateTol := flag.Float64("gate-tol", 0.25, "allowed fractional ns/op regression before the gate fails")
 	flag.Parse()
 	bench.Parallelism = *parallel
 
 	if *gate != "" || *writeBaseline != "" {
-		os.Exit(runGate(bench.NewCorpus(), *gate, *writeBaseline, *gateOut, *gateRuns, *gateTol))
+		os.Exit(runGate(bench.NewCorpus(), *gate, *writeBaseline, *gateOut, *compareOut, *gateRuns, *gateTol))
 	}
 
 	sizes, err := parseFloats(*sizesFlag)
@@ -192,6 +215,7 @@ func main() {
 		"fig11f":   func() bench.Table { return bench.Fig11f(c, sizes) },
 		"window":   func() bench.Table { return bench.Window(c, sizes) },
 		"frag":     func() bench.Table { return bench.Fragmentation(c, sizes) },
+		"index":    func() bench.Table { return bench.IndexPushdown(c, sizes) },
 		"parallel": func() bench.Table { return bench.Parallel(c, *parSize, workers) },
 		"copyscan": func() bench.Table { return bench.CopyVsScan(c, sizes) },
 		"mpmgjn":   func() bench.Table { return bench.MPMGJN(c, sizes) },
@@ -199,7 +223,7 @@ func main() {
 		"server":   func() bench.Table { return bench.ServerThroughput(c, *parSize, clients) },
 	}
 	order := []string{"table1", "fig3", "fig11a", "fig11b", "fig11c", "fig11d",
-		"fig11e", "fig11f", "window", "frag", "parallel", "copyscan", "mpmgjn", "storage", "server"}
+		"fig11e", "fig11f", "window", "frag", "index", "parallel", "copyscan", "mpmgjn", "storage", "server"}
 
 	emitJSON := func(tables []bench.Table) {
 		enc := json.NewEncoder(w)

@@ -8,10 +8,13 @@
 //	xpathd -addr :8080 -doc auction=auction.xml -doc big=big.scj
 //	xpathd -addr :8080 -gen demo=1        # generated XMark document
 //
-// Document sources may be XML text or the SCJ1 binary format written
-// by doc.WriteBinary (xpathq/examples); the format is sniffed from the
-// file. -gen name=sizeMB registers a generated XMark-style document —
-// handy for demos and load tests without files on disk.
+// Document sources may be XML text or the SCJ1/SCJ2 binary formats
+// written by doc.WriteBinary (xpathq/examples); the format is sniffed
+// from the file, and an SCJ2 file loads with its tag/kind pushdown
+// index already materialised. -gen name=sizeMB registers a generated
+// XMark-style document — handy for demos and load tests without files
+// on disk. -index=false disables the shared index (per-query rescans;
+// results identical — ablation/ops knob).
 //
 //	curl -s localhost:8080/query -d '{
 //	  "doc": "auction",
@@ -65,12 +68,13 @@ func (p *pairList) Set(s string) error {
 func main() {
 	var docs, gens pairList
 	addr := flag.String("addr", ":8080", "listen address")
-	flag.Var(&docs, "doc", "register a document: name=path (XML or SCJ1 binary, repeatable)")
+	flag.Var(&docs, "doc", "register a document: name=path (XML or SCJ1/SCJ2 binary, repeatable)")
 	flag.Var(&gens, "gen", "register a generated XMark document: name=sizeMB (repeatable)")
 	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MB (0 disables)")
 	catalogMB := flag.Int64("catalog-mb", 0, "resident document budget in MB (0 = unbounded)")
 	workers := flag.Int("workers", 0, "worker budget for query evaluation (0 = GOMAXPROCS)")
 	parallel := flag.Int("parallel", 0, "default staircase-join parallelism per query (0/1 serial, -1 all cores)")
+	useIndex := flag.Bool("index", true, "keep the shared tag/kind index resident per document (false: per-query column rescans; results identical)")
 	flag.Parse()
 
 	if len(docs) == 0 && len(gens) == 0 {
@@ -78,7 +82,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	cat := catalog.New(*catalogMB << 20)
+	var catOpts []catalog.Option
+	if !*useIndex {
+		catOpts = append(catOpts, catalog.WithoutIndex())
+	}
+	cat := catalog.New(*catalogMB<<20, catOpts...)
 	for _, kv := range docs {
 		if err := cat.Register(kv.name, kv.value, catalog.FormatAuto); err != nil {
 			fmt.Fprintln(os.Stderr, "xpathd:", err)
@@ -107,6 +115,7 @@ func main() {
 		CacheBytes:         *cacheMB << 20,
 		Workers:            *workers,
 		DefaultParallelism: *parallel,
+		NoIndex:            !*useIndex,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

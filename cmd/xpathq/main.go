@@ -46,6 +46,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the physical plan instead of results")
 	limit := flag.Int("limit", 20, "max result nodes to print (0 = all)")
 	parallel := flag.Int("parallel", 0, "staircase-join workers: 0/1 = serial, N > 1 = up to N workers, -1 = GOMAXPROCS")
+	useIndex := flag.Bool("index", true, "use the shared tag/kind index for name-test pushdown (false: per-step column rescan; results identical)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -82,7 +83,7 @@ func main() {
 	}
 
 	e := engine.New(d)
-	eopts := &engine.Options{Strategy: strat, Pushdown: push, Parallelism: *parallel}
+	eopts := &engine.Options{Strategy: strat, Pushdown: push, Parallelism: *parallel, NoIndex: !*useIndex}
 	if *explain {
 		out, err := e.Explain(query, eopts)
 		if err != nil {
@@ -119,9 +120,9 @@ func main() {
 	if *stats {
 		fmt.Println("\nper-step statistics:")
 		for i, s := range res.Steps {
-			fmt.Printf("  step %d: %-40s %6d -> %-6d  %8.3fms  pushed=%v\n",
+			fmt.Printf("  step %d: %-40s %6d -> %-6d  %8.3fms  pushed=%v indexed=%v\n",
 				i+1, s.Step, s.InputSize, s.OutputSize,
-				float64(s.Duration.Microseconds())/1000, s.Pushed)
+				float64(s.Duration.Microseconds())/1000, s.Pushed, s.Indexed)
 			if s.Core.Scanned > 0 {
 				fmt.Printf("          staircase: pruned %d->%d, scanned %d (copied %d, compared %d), skipped %d\n",
 					s.Core.ContextSize, s.Core.PrunedSize, s.Core.Scanned,

@@ -6,11 +6,14 @@ package staircase_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"staircase/internal/axis"
 	"staircase/internal/bench"
+	"staircase/internal/catalog"
 	"staircase/internal/core"
 	"staircase/internal/doc"
 	"staircase/internal/engine"
@@ -220,5 +223,96 @@ func TestIntegrationExplainMatchesExecution(t *testing.T) {
 	wantCard := fmt.Sprintf("-> %d result", len(res.Nodes))
 	if !bytes.Contains([]byte(out), []byte(wantCard)) {
 		t.Fatalf("explain cardinality does not match execution:\n%s", out)
+	}
+}
+
+// TestIntegrationIndexAcceptance is the tag/kind-index acceptance bar:
+// the same document loaded four ways — from XML text, from a legacy v1
+// (SCJ1) file, and from a current v2 (SCJ2) file that carries the
+// index section, registered in a catalog with and without eager index
+// residency — must produce byte-identical results for every query,
+// with the shared index and with the -index=false rescan fallback.
+func TestIntegrationIndexAcceptance(t *testing.T) {
+	cfg := xmark.Config{SizeMB: 0.2, Seed: 5, KeepValues: true}
+	direct, err := xmark.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1, v2 bytes.Buffer
+	if err := direct.WriteBinaryV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.WriteBinary(&v2); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "d.xml")
+	xf, err := os.Create(xmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xmark.Write(xf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	xf.Close()
+	v1Path := filepath.Join(dir, "d1.scj")
+	v2Path := filepath.Join(dir, "d2.scj")
+	if err := os.WriteFile(v1Path, v1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v2Path, v2.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both catalog configurations must sniff and load all three files.
+	type loaded struct {
+		name string
+		eng  *engine.Engine
+	}
+	var engines []loaded
+	for _, withIndex := range []bool{true, false} {
+		var opts []catalog.Option
+		if !withIndex {
+			opts = append(opts, catalog.WithoutIndex())
+		}
+		cat := catalog.New(0, opts...)
+		for name, path := range map[string]string{"xml": xmlPath, "v1": v1Path, "v2": v2Path} {
+			if err := cat.Register(name, path, catalog.FormatAuto); err != nil {
+				t.Fatal(err)
+			}
+			h, err := cat.Open(name)
+			if err != nil {
+				t.Fatalf("index=%v %s: %v", withIndex, name, err)
+			}
+			t.Cleanup(h.Close)
+			engines = append(engines, loaded{fmt.Sprintf("%s/index=%v", name, withIndex), h.Engine()})
+		}
+	}
+
+	for _, q := range integrationQueries {
+		want, err := engine.New(direct).EvalString(q, &engine.Options{Pushdown: engine.PushNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range engines {
+			for _, opts := range []*engine.Options{
+				nil,
+				{Pushdown: engine.PushAlways},
+				{Pushdown: engine.PushAlways, NoIndex: true},
+			} {
+				got, err := l.eng.EvalString(q, opts)
+				if err != nil {
+					t.Fatalf("%s [%s]: %v", q, l.name, err)
+				}
+				if len(got.Nodes) != len(want.Nodes) {
+					t.Fatalf("%s [%s opts=%+v]: %d nodes, want %d", q, l.name, opts, len(got.Nodes), len(want.Nodes))
+				}
+				for i := range want.Nodes {
+					if got.Nodes[i] != want.Nodes[i] {
+						t.Fatalf("%s [%s opts=%+v]: node %d differs", q, l.name, opts, i)
+					}
+				}
+			}
+		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"staircase/internal/doc"
 	"staircase/internal/engine"
 	"staircase/internal/frag"
+	"staircase/internal/index"
 	"staircase/internal/xmark"
 )
 
@@ -504,6 +505,55 @@ func Fragmentation(c *Corpus, sizes []float64) Table {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.1f", mb), fmt.Sprint(n1), ms(scj), ms(fragged),
 			fmt.Sprintf("%.1fx", float64(scj.Nanoseconds())/float64(fragged.Nanoseconds())),
+		})
+	}
+	return t
+}
+
+// IndexPushdown regenerates the tag/kind-index ablation: Q1 with
+// name-test pushdown forced, served by the shared per-document index
+// (warm) versus per-query name-column rescans (the pre-index
+// behaviour every cold engine used to pay), alongside the one-off
+// index build cost that buys the difference.
+func IndexPushdown(c *Corpus, sizes []float64) Table {
+	t := Table{
+		ID:     "index",
+		Title:  "tag/kind index: warm index-backed pushdown vs per-query rescan (Q1)",
+		Header: []string{"size[MB]", "nodes", "result", "build[ms]", "index-bytes", "rescan[ms]", "warm[ms]", "speedup"},
+		Notes: []string{
+			"rescan = Options.NoIndex: every pushed step rebuilds its fragment with an O(n) column scan",
+			"warm = shared immutable index on the document: fragment fetch is O(1), join is binary-search bounded",
+		},
+	}
+	for _, mb := range sizes {
+		d := c.Doc(mb)
+		e := engine.New(d)
+		build := timeIt(3, func() {
+			index.Build(d.KindSlice(), d.NameSlice(), d.Names().Len(), doc.NumKinds, doc.Elem)
+		})
+		ix := d.TagIndex() // warm the shared index
+		var n1, n2 int
+		rescan := timeIt(3, func() {
+			r, err := e.EvalString(Q1, &engine.Options{Pushdown: engine.PushAlways, NoIndex: true})
+			if err != nil {
+				panic(err)
+			}
+			n1 = len(r.Nodes)
+		})
+		warm := timeIt(3, func() {
+			r, err := e.EvalString(Q1, &engine.Options{Pushdown: engine.PushAlways})
+			if err != nil {
+				panic(err)
+			}
+			n2 = len(r.Nodes)
+		})
+		if n1 != n2 {
+			panic(fmt.Sprintf("bench: index result mismatch: %d vs %d", n1, n2))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", mb), fmt.Sprint(d.Size()), fmt.Sprint(n1),
+			ms(build), fmt.Sprint(ix.Bytes()), ms(rescan), ms(warm),
+			fmt.Sprintf("%.1fx", float64(rescan.Nanoseconds())/float64(warm.Nanoseconds())),
 		})
 	}
 	return t

@@ -1,9 +1,11 @@
 // Benchmark-regression gate: a small, fixed family of staircase-join
 // benchmarks that CI measures on every commit and compares against a
 // committed baseline (BENCH_baseline.json). The family covers the four
-// partitioning-axis joins plus full Q1/Q2 engine evaluation, i.e. the
-// hot paths every perf-oriented PR touches. cmd/benchrun drives it via
-// -gate / -write-baseline.
+// partitioning-axis joins, full Q1/Q2 engine evaluation, and the
+// tag/kind-index hot path (warm index-backed pushdown, the cold rescan
+// baseline, and the index build itself), i.e. the hot paths every
+// perf-oriented PR touches. cmd/benchrun drives it via -gate /
+// -write-baseline and publishes the full Compare record for CI.
 package bench
 
 import (
@@ -14,7 +16,9 @@ import (
 	"testing"
 
 	"staircase/internal/core"
+	"staircase/internal/doc"
 	"staircase/internal/engine"
+	"staircase/internal/index"
 )
 
 // BenchPoint is one benchmark measurement, JSON-stable for baselines.
@@ -44,10 +48,11 @@ func smokeFamily(c *Corpus) []struct {
 	d := c.Doc(smokeSizeMB)
 	cx := getContexts(d)
 	e := engine.New(d)
-	evalQ := func(q string) func(b *testing.B) {
+	d.TagIndex() // warm the shared index so Warm runs measure steady state
+	evalQ := func(q string, opts *engine.Options) func(b *testing.B) {
 		return func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := e.EvalString(q, nil); err != nil {
+				if _, err := e.EvalString(q, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -77,8 +82,21 @@ func smokeFamily(c *Corpus) []struct {
 				core.PrecedingJoin(d, cx.increases, nil)
 			}
 		}},
-		{"EngineQ1", evalQ(Q1)},
-		{"EngineQ2", evalQ(Q2)},
+		{"EngineQ1", evalQ(Q1, nil)},
+		{"EngineQ2", evalQ(Q2, nil)},
+		// The index hot path: warm = fragments from the shared tag/kind
+		// index; cold = per-query name-column rescans, the pre-index
+		// behaviour every fresh engine/doc-load used to pay.
+		{"EnginePushdownWarm", evalQ(Q1, &engine.Options{Pushdown: engine.PushAlways})},
+		{"EnginePushdownCold", evalQ(Q1, &engine.Options{Pushdown: engine.PushAlways, NoIndex: true})},
+		{"IndexBuild", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix := index.Build(d.KindSlice(), d.NameSlice(), d.Names().Len(), doc.NumKinds, doc.Elem)
+				if ix.Entries() != int64(d.Size()) {
+					b.Fatal("index build incomplete")
+				}
+			}
+		}},
 	}
 }
 
@@ -121,12 +139,51 @@ func RunSmoke(c *Corpus, runs int) []BenchPoint {
 // PR that genuinely speeds up half the family) never turns unchanged
 // benchmarks into false regressions.
 func CheckRegression(baseline, current []BenchPoint, tol float64) []string {
+	return Compare(Baseline{Points: baseline}, current, tol).Failures
+}
+
+// ComparisonPoint is one benchmark's baseline-vs-current record in a
+// gate comparison.
+type ComparisonPoint struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baselineNsPerOp,omitempty"`
+	CurrentNs  float64 `json:"currentNsPerOp,omitempty"`
+	// Ratio is current/baseline before machine normalisation;
+	// NormalizedRatio divides out the family-median scale — the number
+	// the tolerance is applied to.
+	Ratio           float64 `json:"ratio,omitempty"`
+	NormalizedRatio float64 `json:"normalizedRatio,omitempty"`
+	// Regressed: the normalized ratio exceeded the tolerance. Missing:
+	// in the baseline but not measured. New: measured but not yet in
+	// the baseline (not gated).
+	Regressed bool `json:"regressed,omitempty"`
+	Missing   bool `json:"missing,omitempty"`
+	New       bool `json:"new,omitempty"`
+}
+
+// Comparison is the full record of one gate run against a baseline —
+// what CI publishes as a per-PR artifact so the performance trajectory
+// of the gated family stays inspectable without rerunning anything.
+type Comparison struct {
+	Family    string            `json:"family,omitempty"`
+	SizeMB    float64           `json:"sizeMB,omitempty"`
+	Runs      int               `json:"runs,omitempty"`
+	Tolerance float64           `json:"tolerance"`
+	Scale     float64           `json:"machineScale"`
+	Passed    bool              `json:"passed"`
+	Points    []ComparisonPoint `json:"points"`
+	Failures  []string          `json:"failures,omitempty"`
+}
+
+// Compare evaluates current measurements against a baseline with the
+// CheckRegression policy and returns the full per-benchmark record.
+func Compare(baseline Baseline, current []BenchPoint, tol float64) Comparison {
 	cur := make(map[string]float64, len(current))
 	for _, p := range current {
 		cur[p.Name] = p.NsPerOp
 	}
 	var ratios []float64
-	for _, b := range baseline {
+	for _, b := range baseline.Points {
 		if c, ok := cur[b.Name]; ok && b.NsPerOp > 0 {
 			ratios = append(ratios, c/b.NsPerOp)
 		}
@@ -138,19 +195,43 @@ func CheckRegression(baseline, current []BenchPoint, tol float64) []string {
 			scale = m
 		}
 	}
-	var failures []string
-	for _, b := range baseline {
+	cmp := Comparison{
+		Family:    baseline.Family,
+		SizeMB:    baseline.SizeMB,
+		Runs:      baseline.Runs,
+		Tolerance: tol,
+		Scale:     scale,
+	}
+	seen := make(map[string]bool, len(baseline.Points))
+	for _, b := range baseline.Points {
+		seen[b.Name] = true
+		p := ComparisonPoint{Name: b.Name, BaselineNs: b.NsPerOp}
 		c, ok := cur[b.Name]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+			p.Missing = true
+			cmp.Failures = append(cmp.Failures, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+			cmp.Points = append(cmp.Points, p)
 			continue
 		}
-		if b.NsPerOp > 0 && c > b.NsPerOp*scale*(1+tol) {
-			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%% after %.2fx machine normalisation, limit +%.0f%%)",
-				b.Name, c, b.NsPerOp, 100*(c/(b.NsPerOp*scale)-1), scale, 100*tol))
+		p.CurrentNs = c
+		if b.NsPerOp > 0 {
+			p.Ratio = c / b.NsPerOp
+			p.NormalizedRatio = p.Ratio / scale
+			if p.NormalizedRatio > 1+tol {
+				p.Regressed = true
+				cmp.Failures = append(cmp.Failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%% after %.2fx machine normalisation, limit +%.0f%%)",
+					b.Name, c, b.NsPerOp, 100*(p.NormalizedRatio-1), scale, 100*tol))
+			}
+		}
+		cmp.Points = append(cmp.Points, p)
+	}
+	for _, p := range current {
+		if !seen[p.Name] {
+			cmp.Points = append(cmp.Points, ComparisonPoint{Name: p.Name, CurrentNs: p.NsPerOp, New: true})
 		}
 	}
-	return failures
+	cmp.Passed = len(cmp.Failures) == 0
+	return cmp
 }
 
 // WriteBaseline serializes a gate run.

@@ -85,10 +85,53 @@ func TestSmokeFamilyRuns(t *testing.T) {
 	// benchmark bodies execute; the real measurement happens in CI.
 	c := NewCorpus()
 	fam := smokeFamily(c)
-	if len(fam) != 6 {
-		t.Fatalf("family has %d members, want 6", len(fam))
+	if len(fam) != 9 {
+		t.Fatalf("family has %d members, want 9", len(fam))
 	}
 	for _, bm := range fam {
 		bm.fn(&testing.B{N: 1})
+	}
+}
+
+func TestCompareRecordsTrajectory(t *testing.T) {
+	base := Baseline{
+		Family: "f", SizeMB: 0.5, Runs: 5,
+		Points: []BenchPoint{
+			{Name: "A", NsPerOp: 100}, {Name: "B", NsPerOp: 100},
+			{Name: "C", NsPerOp: 100}, {Name: "Gone", NsPerOp: 50},
+		},
+	}
+	current := []BenchPoint{
+		{Name: "A", NsPerOp: 100}, // unchanged
+		{Name: "B", NsPerOp: 200}, // regressed 2x (sticks out of the family median)
+		{Name: "C", NsPerOp: 100}, // unchanged
+		{Name: "New", NsPerOp: 10},
+	}
+	cmp := Compare(base, current, 0.25)
+	if cmp.Passed {
+		t.Fatal("comparison with a regression and a missing benchmark must fail")
+	}
+	if cmp.Family != "f" || cmp.SizeMB != 0.5 || cmp.Runs != 5 || cmp.Tolerance != 0.25 {
+		t.Fatalf("metadata not carried: %+v", cmp)
+	}
+	byName := map[string]ComparisonPoint{}
+	for _, p := range cmp.Points {
+		byName[p.Name] = p
+	}
+	if p := byName["A"]; p.Regressed || p.Ratio != 1 {
+		t.Fatalf("A misjudged: %+v", p)
+	}
+	if p := byName["B"]; !p.Regressed || p.Ratio != 2 {
+		t.Fatalf("B misjudged: %+v", p)
+	}
+	if p := byName["Gone"]; !p.Missing {
+		t.Fatalf("Gone misjudged: %+v", p)
+	}
+	if p := byName["New"]; !p.New || p.CurrentNs != 10 {
+		t.Fatalf("New misjudged: %+v", p)
+	}
+	// Compare and CheckRegression agree by construction.
+	if got := CheckRegression(base.Points, current, 0.25); len(got) != len(cmp.Failures) {
+		t.Fatalf("CheckRegression diverged: %v vs %v", got, cmp.Failures)
 	}
 }

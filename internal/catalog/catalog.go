@@ -3,20 +3,27 @@
 // assumes when it talks about the staircase join living *inside* a
 // relational DBMS serving many queries.
 //
-// Each entry names a document source on disk (XML text, or the SCJ1
-// binary format written by doc.WriteBinary; the format is sniffed from
-// the file's magic bytes). Loading is lazy: the first Open shreds or
-// deserializes the file, later Opens share the resident *doc.Document
-// and its *engine.Engine. Documents are immutable after loading, so any
-// number of concurrent readers can evaluate queries against one entry
-// without locking — the catalog only synchronises lookup, load, and
-// eviction.
+// Each entry names a document source on disk (XML text, or the SCJ1/
+// SCJ2 binary formats written by doc.WriteBinary; the format is
+// sniffed from the file's magic bytes). Loading is lazy: the first
+// Open shreds or deserializes the file, later Opens share the resident
+// *doc.Document and its *engine.Engine. Documents are immutable after
+// loading, so any number of concurrent readers can evaluate queries
+// against one entry without locking — the catalog only synchronises
+// lookup, load, and eviction.
+//
+// Unless disabled with WithoutIndex, every load finishes by ensuring
+// the document's shared tag/kind index (doc.TagIndex) is resident —
+// deserialized from the SCJ2 index section when present, built with
+// one O(n) pass otherwise — so queries never pay a name-column rescan,
+// no matter how many engines or reloads the entry sees.
 //
 // Residency is bounded: when the encoded bytes of loaded documents
-// exceed the budget, least-recently-used entries with no open handles
-// are evicted (dropped; a later Open reloads from the source). Every
-// load bumps the entry's generation — result caches key on it so a
-// reload from a changed file can never serve stale cached results.
+// (structural columns plus their tag/kind index) exceed the budget,
+// least-recently-used entries with no open handles are evicted
+// (dropped; a later Open reloads from the source). Every load bumps
+// the entry's generation — result caches key on it so a reload from a
+// changed file can never serve stale cached results.
 package catalog
 
 import (
@@ -45,7 +52,8 @@ const (
 	FormatAuto Format = iota
 	// FormatXML shreds XML text via doc.Shred.
 	FormatXML
-	// FormatBinary deserializes the SCJ1 encoding via doc.ReadBinary.
+	// FormatBinary deserializes the SCJ1/SCJ2 encoding via
+	// doc.ReadBinary (an SCJ2 file carries its tag/kind index section).
 	FormatBinary
 )
 
@@ -73,6 +81,7 @@ type DocInfo struct {
 	Pinned     bool          `json:"pinned"`
 	Generation uint64        `json:"generation"`
 	Bytes      int64         `json:"bytes,omitempty"`
+	IndexBytes int64         `json:"indexBytes,omitempty"`
 	Nodes      int           `json:"nodes,omitempty"`
 	Height     int32         `json:"height,omitempty"`
 	Loads      int64         `json:"loads"`
@@ -97,7 +106,8 @@ type entry struct {
 	d         *doc.Document
 	eng       *engine.Engine
 	gen       uint64 // bumped on every load
-	bytes     int64
+	bytes     int64  // resident footprint: encoding + index
+	idxBytes  int64  // tag/kind index share of bytes
 	refs      int
 	lastUse   int64
 	loads     int64
@@ -114,13 +124,31 @@ type Catalog struct {
 	maxBytes int64 // residency budget; 0 = unbounded
 	resident int64
 	clock    int64
+	noIndex  bool
 }
 
-// New returns an empty catalog. maxBytes bounds the total encoded bytes
-// of resident documents (0 = unbounded); entries beyond the budget are
-// evicted least-recently-used once unreferenced.
-func New(maxBytes int64) *Catalog {
-	return &Catalog{entries: make(map[string]*entry), maxBytes: maxBytes}
+// Option configures a Catalog.
+type Option func(*Catalog)
+
+// WithoutIndex disables eager tag/kind index residency: loads skip the
+// index build (engines fall back to per-query scans when asked to
+// evaluate with engine.Options.NoIndex; a query that does use the
+// index still builds it lazily). Ablation/operations knob — the
+// xpathd -index=false flag.
+func WithoutIndex() Option {
+	return func(c *Catalog) { c.noIndex = true }
+}
+
+// New returns an empty catalog. maxBytes bounds the total resident
+// bytes of loaded documents — structural encoding plus tag/kind index
+// (0 = unbounded); entries beyond the budget are evicted
+// least-recently-used once unreferenced.
+func New(maxBytes int64, opts ...Option) *Catalog {
+	c := &Catalog{entries: make(map[string]*entry), maxBytes: maxBytes}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Register adds a named document source without loading it. The format
@@ -151,6 +179,10 @@ func (c *Catalog) AddDocument(name string, d *doc.Document) error {
 		return fmt.Errorf("catalog: document %q already registered", name)
 	}
 	e := &entry{name: name, pinned: true, d: d, eng: engine.New(d), gen: 1, loads: 1, bytes: d.EncodedBytes()}
+	if !c.noIndex {
+		e.idxBytes = d.TagIndex().Bytes()
+		e.bytes += e.idxBytes
+	}
 	c.entries[name] = e
 	return nil
 }
@@ -186,8 +218,15 @@ func (c *Catalog) Open(name string) (*Handle, error) {
 	c.mu.Lock()
 	if e.d == nil {
 		path, format := e.path, e.format
+		buildIndex := !c.noIndex
 		c.mu.Unlock()
 		d, format, err := loadDocument(path, format)
+		if err == nil && buildIndex {
+			// Ensure the shared index is resident before the entry goes
+			// live: an SCJ2 file already carries it, anything else builds
+			// it here, once — queries never pay the rescan.
+			d.TagIndex()
+		}
 		c.mu.Lock()
 		if err != nil {
 			e.refs--
@@ -200,7 +239,8 @@ func (c *Catalog) Open(name string) (*Handle, error) {
 		e.format = format
 		e.gen++
 		e.loads++
-		e.bytes = d.EncodedBytes()
+		e.idxBytes = d.IndexBytes()
+		e.bytes = d.EncodedBytes() + e.idxBytes
 		c.resident += e.bytes
 	}
 	h := &Handle{c: c, e: e, d: e.d, eng: e.eng, gen: e.gen}
@@ -214,7 +254,8 @@ func (c *Catalog) Open(name string) (*Handle, error) {
 func (h *Handle) Document() *doc.Document { return h.d }
 
 // Engine returns the shared evaluation engine over the document (safe
-// for concurrent use; its tag-list cache is shared across handles).
+// for concurrent use; pushdown fragments come from the document's
+// shared tag/kind index, so engines carry no per-engine caches).
 func (h *Handle) Engine() *engine.Engine { return h.eng }
 
 // Name returns the catalog name of the document.
@@ -272,6 +313,7 @@ func (c *Catalog) evict() {
 		victim.evictions++
 		c.resident -= victim.bytes
 		victim.bytes = 0
+		victim.idxBytes = 0
 	}
 }
 
@@ -287,11 +329,29 @@ func (c *Catalog) Names() []string {
 	return names
 }
 
-// ResidentBytes returns the encoded bytes of currently loaded documents.
+// ResidentBytes returns the resident bytes of currently loaded
+// documents (structural encoding plus tag/kind index).
 func (c *Catalog) ResidentBytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.resident
+}
+
+// IndexBytes returns the tag/kind index share of ResidentBytes. Like
+// ResidentBytes it covers only budget-tracked (reloadable) entries —
+// pinned AddDocument entries sit outside the budget and report their
+// index footprint per entry via Info instead — so the share can never
+// exceed the total.
+func (c *Catalog) IndexBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, e := range c.entries {
+		if !e.pinned {
+			total += e.idxBytes
+		}
+	}
+	return total
 }
 
 // Info snapshots every entry's statistics, sorted by name.
@@ -312,6 +372,7 @@ func (c *Catalog) Info() []DocInfo {
 			Pinned:     e.pinned,
 			Generation: e.gen,
 			Bytes:      e.bytes,
+			IndexBytes: e.idxBytes,
 			Loads:      e.loads,
 			Evictions:  e.evictions,
 			Queries:    e.queries,
@@ -327,8 +388,8 @@ func (c *Catalog) Info() []DocInfo {
 	return out
 }
 
-// loadDocument reads a document from disk, sniffing the SCJ1 magic when
-// the format is FormatAuto.
+// loadDocument reads a document from disk, sniffing the SCJ1/SCJ2
+// magic when the format is FormatAuto.
 func loadDocument(path string, format Format) (*doc.Document, Format, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -338,7 +399,7 @@ func loadDocument(path string, format Format) (*doc.Document, Format, error) {
 	br := bufio.NewReaderSize(f, 1<<16)
 	if format == FormatAuto {
 		magic, err := br.Peek(4)
-		if err == nil && string(magic) == "SCJ1" {
+		if err == nil && (string(magic) == "SCJ1" || string(magic) == "SCJ2") {
 			format = FormatBinary
 		} else {
 			format = FormatXML

@@ -248,3 +248,136 @@ func TestConcurrentOpenLoadsOnce(t *testing.T) {
 		t.Fatalf("loaded %d times, want 1", info[0].Loads)
 	}
 }
+
+func TestIndexResidencyAccounting(t *testing.T) {
+	// Index bytes count against the budget and show up in stats, for
+	// XML sources (index built at load) and SCJ2 sources (index
+	// deserialized from the file) alike.
+	for _, src := range []struct {
+		name string
+		path func(t *testing.T) string
+	}{
+		{"xml", func(t *testing.T) string { return writeXML(t, "d.xml") }},
+		{"scj2", func(t *testing.T) string { return writeBinary(t, "d.scj") }},
+	} {
+		t.Run(src.name, func(t *testing.T) {
+			c := New(0)
+			if err := c.Register("d", src.path(t), FormatAuto); err != nil {
+				t.Fatal(err)
+			}
+			h, err := c.Open("d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			d := h.Document()
+			if !d.IndexBuilt() {
+				t.Fatal("index not resident after load")
+			}
+			wantIdx := d.IndexBytes()
+			if wantIdx <= 0 {
+				t.Fatal("IndexBytes = 0 for a resident index")
+			}
+			if got := c.IndexBytes(); got != wantIdx {
+				t.Fatalf("catalog IndexBytes = %d, want %d", got, wantIdx)
+			}
+			if got, want := c.ResidentBytes(), d.EncodedBytes()+wantIdx; got != want {
+				t.Fatalf("ResidentBytes = %d, want encoding+index = %d", got, want)
+			}
+			info := c.Info()
+			if len(info) != 1 || info[0].IndexBytes != wantIdx || info[0].Bytes != d.EncodedBytes()+wantIdx {
+				t.Fatalf("info = %+v", info[0])
+			}
+		})
+	}
+}
+
+func TestWithoutIndexSkipsBuild(t *testing.T) {
+	c := New(0, WithoutIndex())
+	if err := c.Register("d", writeXML(t, "d.xml"), FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.Document().IndexBuilt() {
+		t.Fatal("WithoutIndex catalog built the index at load")
+	}
+	if c.IndexBytes() != 0 {
+		t.Fatalf("IndexBytes = %d, want 0", c.IndexBytes())
+	}
+	if got, want := c.ResidentBytes(), h.Document().EncodedBytes(); got != want {
+		t.Fatalf("ResidentBytes = %d, want %d", got, want)
+	}
+}
+
+func TestEvictionReclaimsIndexBytes(t *testing.T) {
+	d, err := xmark.Generate(xmark.Config{SizeMB: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.scj")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// Budget below one resident document: the entry must be evicted as
+	// soon as it is unreferenced, and index bytes must drop to zero.
+	c := New(1, Option(func(c *Catalog) {})) // exercise variadic options path
+	if err := c.Register("d", path, FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IndexBytes() == 0 {
+		t.Fatal("no index bytes while resident")
+	}
+	h.Close()
+	if got := c.ResidentBytes(); got != 0 {
+		t.Fatalf("ResidentBytes = %d after eviction", got)
+	}
+	if got := c.IndexBytes(); got != 0 {
+		t.Fatalf("IndexBytes = %d after eviction", got)
+	}
+}
+
+func TestIndexBytesNeverExceedResidentBytes(t *testing.T) {
+	// Pinned AddDocument entries sit outside the residency budget, so
+	// the catalog-level index gauge must skip them too — the index
+	// share can never exceed the resident total (their footprint still
+	// shows per entry in Info).
+	d, err := xmark.Generate(xmark.Config{SizeMB: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(0)
+	if err := c.AddDocument("mem", d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.IndexBytes(); got != 0 {
+		t.Fatalf("IndexBytes = %d for a pinned-only catalog, want 0 (resident = %d)", got, c.ResidentBytes())
+	}
+	info := c.Info()
+	if len(info) != 1 || info[0].IndexBytes <= 0 {
+		t.Fatalf("pinned entry must still report its index footprint: %+v", info)
+	}
+	if err := c.Register("disk", writeXML(t, "d.xml"), FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Open("disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if c.IndexBytes() <= 0 || c.IndexBytes() > c.ResidentBytes() {
+		t.Fatalf("IndexBytes %d out of range (ResidentBytes %d)", c.IndexBytes(), c.ResidentBytes())
+	}
+}

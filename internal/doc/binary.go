@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"staircase/internal/index"
 )
 
 // Binary persistence of the pre/post encoding. Shredding a large
@@ -18,23 +20,58 @@ import (
 //
 // Layout (little endian):
 //
-//	magic "SCJ1" | flags u32 | n u32 | height i32
+//	magic "SCJ2" | flags u32 | n u32 | height i32
 //	post  [n]i32 | level [n]i32 | parent [n]i32 | kind [n]u8 | name [n]i32
 //	dict: count u32, then per name: len u32 + bytes
 //	values (flag bit 0): per node: len u32 + bytes
-const binaryMagic = "SCJ1"
+//	index (flag bit 1): the tag/kind node index, see index.WriteSection
+//
+// Version 2 adds the optional index section: the per-tag and per-kind
+// node lists of internal/index, persisted so a document loads with its
+// name-test pushdown fragments ready — no O(n) rebuild scan. Version 1
+// ("SCJ1") files are identical up to the dictionary/values sections
+// and still load; their index is built in memory on first use.
+// WriteBinary always writes the current version; WriteBinaryV1 keeps
+// the ability to produce v1 files for compatibility tests and older
+// readers.
+const (
+	binaryMagicV1 = "SCJ1"
+	binaryMagicV2 = "SCJ2"
+)
 
-const flagHasValues = 1 << 0
+const (
+	flagHasValues = 1 << 0
+	flagHasIndex  = 1 << 1 // v2 only
+)
 
-// WriteBinary serializes the encoded document.
+// WriteBinary serializes the encoded document in the current (SCJ2)
+// format, including the tag/kind index section (building the index
+// first if the document does not have one yet).
 func (d *Document) WriteBinary(w io.Writer) error {
+	return d.writeBinary(w, 2)
+}
+
+// WriteBinaryV1 serializes the document in the legacy SCJ1 format,
+// without an index section.
+func (d *Document) WriteBinaryV1(w io.Writer) error {
+	return d.writeBinary(w, 1)
+}
+
+func (d *Document) writeBinary(w io.Writer, version int) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
+	magic := binaryMagicV1
+	if version == 2 {
+		magic = binaryMagicV2
+	}
+	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	var flags uint32
 	if d.value != nil {
 		flags |= flagHasValues
+	}
+	if version == 2 {
+		flags |= flagHasIndex
 	}
 	n := uint32(len(d.post))
 	for _, v := range []uint32{flags, n, uint32(d.height)} {
@@ -71,6 +108,11 @@ func (d *Document) WriteBinary(w io.Writer) error {
 			if err := writeString(bw, v); err != nil {
 				return err
 			}
+		}
+	}
+	if flags&flagHasIndex != 0 {
+		if err := d.TagIndex().WriteSection(bw); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -148,20 +190,29 @@ func readByteCol(r io.Reader, n int) ([]byte, error) {
 	return col, nil
 }
 
-// ReadBinary deserializes a document written by WriteBinary and
-// validates the encoding before returning it. Corrupt or truncated
-// input of any shape yields an error, never a panic or an unbounded
-// allocation: column and string reads are chunked against the stream,
-// the name dictionary must be duplicate-free and no larger than the
-// node count, and Validate rejects any encoding (ranks, levels, kinds,
-// name ids, height) that the accessors could not serve safely.
+// ReadBinary deserializes a document written by WriteBinary (either
+// format version, sniffed from the magic bytes) and validates the
+// encoding before returning it. Corrupt or truncated input of any
+// shape yields an error, never a panic or an unbounded allocation:
+// column and string reads are chunked against the stream, the name
+// dictionary must be duplicate-free and no larger than the node count,
+// Validate rejects any encoding (ranks, levels, kinds, name ids,
+// height) that the accessors could not serve safely, and a v2 index
+// section must agree exactly with the kind/name columns — a corrupt
+// index can never silently change query results.
 func ReadBinary(r io.Reader) (*Document, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("doc: read magic: %w", err)
 	}
-	if string(magic) != binaryMagic {
+	var version int
+	switch string(magic) {
+	case binaryMagicV1:
+		version = 1
+	case binaryMagicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("doc: bad magic %q", magic)
 	}
 	var flags, n uint32
@@ -169,7 +220,11 @@ func ReadBinary(r io.Reader) (*Document, error) {
 	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
 		return nil, err
 	}
-	if flags&^uint32(flagHasValues) != 0 {
+	known := uint32(flagHasValues)
+	if version == 2 {
+		known |= flagHasIndex
+	}
+	if flags&^known != 0 {
 		return nil, fmt.Errorf("doc: unknown flags %#x", flags)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
@@ -230,14 +285,50 @@ func ReadBinary(r io.Reader) (*Document, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("doc: corrupt binary document: %w", err)
 	}
+	if flags&flagHasIndex != 0 {
+		ix, err := index.ReadSection(br, int(n), d.names.Len(), NumKinds, uint8(Elem))
+		if err != nil {
+			return nil, fmt.Errorf("doc: corrupt index section: %w", err)
+		}
+		if err := d.validateIndex(ix); err != nil {
+			return nil, fmt.Errorf("doc: corrupt index section: %w", err)
+		}
+		d.idx.Store(ix)
+	}
 	return d, nil
 }
 
+// validateIndex checks a deserialized index section against the
+// document columns: every tag-list entry must be an element carrying
+// that exact name id and every kind-list entry a node of that kind.
+// Combined with the structural guarantees of index.ReadSection (strict
+// sortedness, in-range ranks, total entries == node count) this pins
+// the section to the one canonical index of the document.
+func (d *Document) validateIndex(ix *index.Index) error {
+	for id := 0; id < ix.NumTags(); id++ {
+		for _, v := range ix.Tag(int32(id)) {
+			if d.kind[v] != Elem || d.name[v] != int32(id) {
+				return fmt.Errorf("index: tag list %d contains node %d (kind %v, name %d)",
+					id, v, d.kind[v], d.name[v])
+			}
+		}
+	}
+	for k := 0; k < ix.NumKinds(); k++ {
+		for _, v := range ix.KindList(uint8(k)) {
+			if d.kind[v] != Kind(k) {
+				return fmt.Errorf("index: kind list %d contains node %d of kind %v", k, v, d.kind[v])
+			}
+		}
+	}
+	return nil
+}
+
 // EncodedBytes returns the in-memory footprint of the structural
-// encoding in bytes (excluding string values): 13 bytes per node
-// (post, level, parent, name id: 4 each; kind: 1) plus the name
-// dictionary. The pre column is void and costs nothing — this is the
-// quantity behind the paper's "1.5× document size" storage claim.
+// encoding in bytes (excluding string values and the tag/kind index,
+// see IndexBytes): 13 bytes per node (post, level, parent, name id: 4
+// each; kind: 1) plus the name dictionary. The pre column is void and
+// costs nothing — this is the quantity behind the paper's "1.5×
+// document size" storage claim.
 func (d *Document) EncodedBytes() int64 {
 	n := int64(len(d.post))
 	bytes := n * (4 + 4 + 4 + 4 + 1)

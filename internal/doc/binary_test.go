@@ -80,6 +80,110 @@ func TestBinaryRoundTripRandomDocs(t *testing.T) {
 	}
 }
 
+func TestBinaryV1StillLoads(t *testing.T) {
+	d1, err := ShredString(figure1XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d1.WriteBinaryV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[:4]; string(got) != "SCJ1" {
+		t.Fatalf("v1 magic = %q", got)
+	}
+	d2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.IndexBuilt() {
+		t.Fatal("v1 file must not arrive with a persisted index")
+	}
+	// The index builds lazily and matches the v2-persisted one.
+	ix := d2.TagIndex()
+	if !d2.IndexBuilt() || ix.Entries() != int64(d2.Size()) {
+		t.Fatalf("lazy index covers %d of %d nodes", ix.Entries(), d2.Size())
+	}
+	for v := int32(0); int(v) < d1.Size(); v++ {
+		if d1.Post(v) != d2.Post(v) || d1.Name(v) != d2.Name(v) || d1.Value(v) != d2.Value(v) {
+			t.Fatalf("node %d differs after v1 round trip", v)
+		}
+	}
+}
+
+func TestBinaryV2CarriesIndex(t *testing.T) {
+	d1, err := ShredString(figure1XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d1.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[:4]; string(got) != "SCJ2" {
+		t.Fatalf("v2 magic = %q", got)
+	}
+	d2, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.IndexBuilt() {
+		t.Fatal("v2 file must arrive with the index attached")
+	}
+	want, got := d1.TagIndex(), d2.TagIndex()
+	if want.NumTags() != got.NumTags() || want.Entries() != got.Entries() {
+		t.Fatalf("persisted index shape differs: %d/%d tags, %d/%d entries",
+			got.NumTags(), want.NumTags(), got.Entries(), want.Entries())
+	}
+	for id := 0; id < want.NumTags(); id++ {
+		w, g := want.Tag(int32(id)), got.Tag(int32(id))
+		if len(w) != len(g) {
+			t.Fatalf("tag %d: %d vs %d entries", id, len(g), len(w))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("tag %d entry %d differs", id, i)
+			}
+		}
+	}
+	if d2.IndexBytes() == 0 {
+		t.Fatal("IndexBytes of a loaded v2 document must be non-zero")
+	}
+}
+
+func TestReadBinaryRejectsCorruptIndexSection(t *testing.T) {
+	d, err := ShredString(figure1XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1, v2 bytes.Buffer
+	if err := d.WriteBinaryV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteBinary(&v2); err != nil {
+		t.Fatal(err)
+	}
+	// Everything past the shared payload is the index section; corrupt
+	// every byte of it in turn. Either the read errors, or (if the flip
+	// happens to produce another canonical section — it cannot, but the
+	// property we rely on is the error) it must not panic.
+	sectionStart := v1.Len() // same payload length up to the section
+	raw := v2.Bytes()
+	for i := sectionStart; i < len(raw); i++ {
+		mut := bytes.Clone(raw)
+		mut[i] ^= 0x01
+		if _, err := ReadBinary(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("corrupt index byte %d accepted", i)
+		}
+	}
+	// Truncations inside the index section must also error.
+	for cut := sectionStart; cut < len(raw); cut++ {
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncated index section at %d accepted", cut)
+		}
+	}
+}
+
 func TestReadBinaryRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,

@@ -27,8 +27,11 @@ package doc
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"staircase/internal/bat"
+	"staircase/internal/index"
 )
 
 // Kind classifies a node in the pre/post plane.
@@ -93,6 +96,50 @@ type Document struct {
 
 	names  *Dict
 	height int32 // h: max level, computed at load time (§2.1 footnote 3)
+
+	// idx is the shared tag/kind node index (internal/index), built at
+	// most once per document and immutable afterwards. idxMu only
+	// serialises the build; readers go through the atomic pointer.
+	idxMu sync.Mutex
+	idx   atomic.Pointer[index.Index]
+}
+
+// NumKinds is the number of node kind values, the kind-list count of
+// the tag/kind index and the SCJ2 index section.
+const NumKinds = int(VRoot) + 1
+
+// TagIndex returns the document's tag/kind node index: for each
+// interned name the pre-sorted list of elements carrying it, and for
+// each non-element kind the pre-sorted list of nodes of that kind,
+// with exact counts and pre spans. The index is built at most once per
+// document (documents loaded from an SCJ2 file arrive with it already
+// attached) and shared lock-free by every engine over the document.
+func (d *Document) TagIndex() *index.Index {
+	if ix := d.idx.Load(); ix != nil {
+		return ix
+	}
+	d.idxMu.Lock()
+	defer d.idxMu.Unlock()
+	if ix := d.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := index.Build(d.kind, d.name, d.names.Len(), NumKinds, Elem)
+	d.idx.Store(ix)
+	return ix
+}
+
+// IndexBuilt reports whether the tag/kind index has been built (or
+// loaded) yet, without triggering a build.
+func (d *Document) IndexBuilt() bool { return d.idx.Load() != nil }
+
+// IndexBytes returns the in-memory footprint of the tag/kind index, 0
+// if it has not been built yet. The catalog charges this against its
+// residency budget alongside EncodedBytes.
+func (d *Document) IndexBytes() int64 {
+	if ix := d.idx.Load(); ix != nil {
+		return ix.Bytes()
+	}
+	return 0
 }
 
 // Size returns the number of nodes in the document (elements,

@@ -17,11 +17,18 @@ func fuzzSeedDocs(f *testing.F) [][]byte {
 	const xmlB = `<a><b><c>text</c></b><b/></a>`
 	var seeds [][]byte
 	add := func(d *Document) {
+		// Seed both format versions: v2 with the index section and the
+		// legacy v1 layout, so the fuzzer explores both parse paths.
 		var buf bytes.Buffer
 		if err := d.WriteBinary(&buf); err != nil {
 			f.Fatal(err)
 		}
 		seeds = append(seeds, buf.Bytes())
+		var v1 bytes.Buffer
+		if err := d.WriteBinaryV1(&v1); err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, v1.Bytes())
 	}
 	da, err := Shred(strings.NewReader(xmlA))
 	if err != nil {
@@ -41,11 +48,13 @@ func fuzzSeedDocs(f *testing.F) [][]byte {
 	return seeds
 }
 
-// FuzzReadBinary asserts that ReadBinary on arbitrary bytes either
-// fails with an error or yields a fully valid document that round-trips
-// bit-identically through WriteBinary — i.e. corrupt input can never
-// produce a document whose accessors panic, and the binary format has
-// one canonical encoding per document.
+// FuzzReadBinary asserts that ReadBinary on arbitrary bytes (either
+// format version) either fails with an error or yields a fully valid
+// document that round-trips bit-identically through WriteBinary — i.e.
+// corrupt input can never produce a document whose accessors panic,
+// and the binary format has one canonical v2 encoding per document. A
+// v2 input additionally carries an index section, which must agree
+// exactly with the kind/name columns to be accepted.
 func FuzzReadBinary(f *testing.F) {
 	seeds := fuzzSeedDocs(f)
 	for _, s := range seeds {

@@ -83,22 +83,19 @@ func coreReduceFollowing(e *Engine, context []int32) (int32, bool) {
 	return best, true
 }
 
-// costPushdown decides name-test pushdown with the cost model: push
-// when the tag fragment is smaller than `bound`, the
-// estimateJoinTouches bound on what the full join would touch. The
-// full join runs partition-parallel when the caller requested workers,
-// so the comparison uses the *per-worker* scan bound — a wide parallel
-// join can beat a serial fragment join even when the fragment is
-// nominally smaller.
-func (e *Engine) costPushdown(tag string, bound int64, workers int) bool {
-	id, ok := e.d.Names().Lookup(tag)
-	if !ok {
-		return true // absent tag: the empty fragment is free
-	}
+// costPushdown decides node-test pushdown with the cost model: push
+// when the fragment (the tag or kind node list) is smaller than
+// `bound`, the estimateJoinTouches bound on what the full join would
+// touch. The fragment cardinality is exact — the shared tag/kind index
+// keeps per-list counts, so the decision reads a length instead of
+// scanning the name column. The full join runs partition-parallel when
+// the caller requested workers, so the comparison uses the
+// *per-worker* scan bound — a wide parallel join can beat a serial
+// fragment join even when the fragment is nominally smaller.
+func costPushdown(fragment, bound int64, workers int) bool {
 	if workers < 1 {
 		workers = 1
 	}
-	fragment := int64(len(e.TagList(id)))
 	return fragment < bound/int64(workers)
 }
 

@@ -18,20 +18,31 @@ func TestCostModelPushesSelectiveTags(t *testing.T) {
 
 	// `education` is rare; the whole-document descendant join from the
 	// root would touch everything => push.
-	if !e.shouldPush("education", e.estimateJoinTouches(axis.Descendant, root), PushAuto, 1) {
+	if !shouldPushTag(e, "education", e.estimateJoinTouches(axis.Descendant, root), PushAuto, 1) {
 		t.Error("expected pushdown for selective tag from root context")
 	}
 	// Absent tag: trivially pushed (empty fragment).
-	if !e.shouldPush("nosuchtag", e.estimateJoinTouches(axis.Descendant, root), PushAuto, 1) {
+	if !shouldPushTag(e, "nosuchtag", e.estimateJoinTouches(axis.Descendant, root), PushAuto, 1) {
 		t.Error("expected pushdown for absent tag")
 	}
 	// Forced modes override the model.
-	if e.shouldPush("education", e.estimateJoinTouches(axis.Descendant, root), PushNever, 1) {
+	if shouldPushTag(e, "education", e.estimateJoinTouches(axis.Descendant, root), PushNever, 1) {
 		t.Error("PushNever must not push")
 	}
-	if !e.shouldPush("nosuchtag", e.estimateJoinTouches(axis.Descendant, root), PushAlways, 1) {
+	if !shouldPushTag(e, "nosuchtag", e.estimateJoinTouches(axis.Descendant, root), PushAlways, 1) {
 		t.Error("PushAlways must push")
 	}
+}
+
+// shouldPushTag mirrors the evaluation path's pushdown decision for a
+// tag name: exact fragment cardinality from the shared index, then the
+// shouldPush policy/cost gate.
+func shouldPushTag(e *Engine, tag string, bound int64, mode Pushdown, workers int) bool {
+	var frag int64
+	if id, ok := e.Document().Names().Lookup(tag); ok {
+		frag = int64(e.Document().TagIndex().TagCount(id))
+	}
+	return shouldPush(frag, bound, mode, workers)
 }
 
 func TestCostModelAvoidsPushForTinyContexts(t *testing.T) {
@@ -50,7 +61,7 @@ func TestCostModelAvoidsPushForTinyContexts(t *testing.T) {
 	if d.SubtreeSize(leaf) > 4 {
 		t.Skip("education unexpectedly large")
 	}
-	if e.shouldPush("item", e.estimateJoinTouches(axis.Descendant, []int32{leaf}), PushAuto, 1) {
+	if shouldPushTag(e, "item", e.estimateJoinTouches(axis.Descendant, []int32{leaf}), PushAuto, 1) {
 		t.Error("pushed a large fragment for a tiny context subtree")
 	}
 }

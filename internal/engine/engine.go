@@ -27,6 +27,13 @@
 // pushdown decision. Results are identical to serial evaluation —
 // pruning leaves staircase partitions that scan disjoint document
 // regions, so per-worker results concatenate in document order.
+//
+// Pushdown fragments come from the document's shared tag/kind index
+// (doc.TagIndex, internal/index): built at most once per document —
+// or loaded straight from an SCJ2 file — and shared lock-free by every
+// engine over the document, so no engine ever rescans the name column.
+// Options.NoIndex restores the pre-index behaviour (an O(n) scan per
+// pushed step) for ablation; results are identical either way.
 package engine
 
 import (
@@ -125,6 +132,11 @@ type Options struct {
 	// the goroutine fan-out; StepReport.Core.Workers records the count
 	// actually used.
 	Parallelism int
+	// NoIndex disables the document's shared tag/kind index for this
+	// evaluation: pushdown fragments are rebuilt with an O(n) column
+	// scan per step (the pre-index behaviour). Results are identical;
+	// the knob exists for ablation and the rescan-baseline benchmarks.
+	NoIndex bool
 }
 
 // StepReport records per-step evaluation statistics.
@@ -136,8 +148,10 @@ type StepReport struct {
 	// InputSize and OutputSize are the context and result sequence
 	// lengths (after predicates).
 	InputSize, OutputSize int
-	// Pushed reports whether the name test was pushed below the join.
-	Pushed bool
+	// Pushed reports whether the name/kind test was pushed below the
+	// join; Indexed reports whether the pushed fragment came from the
+	// document's shared tag/kind index (false: name-column scan).
+	Pushed, Indexed bool
 	// Core holds staircase join work counters (staircase strategies,
 	// partitioning axes only).
 	Core core.Stats
@@ -157,18 +171,19 @@ type Result struct {
 }
 
 // Engine evaluates XPath paths over one document. Engines are safe for
-// concurrent use.
+// concurrent use: the only mutable state is the lazily built SQL
+// baseline (mutex-guarded); pushdown fragments live in the document's
+// shared immutable tag/kind index, not in the engine.
 type Engine struct {
 	d *doc.Document
 
-	mu       sync.Mutex
-	sql      *baseline.SQLEngine
-	tagLists map[int32][]int32
+	mu  sync.Mutex
+	sql *baseline.SQLEngine
 }
 
 // New returns an engine over the document.
 func New(d *doc.Document) *Engine {
-	return &Engine{d: d, tagLists: make(map[int32][]int32)}
+	return &Engine{d: d}
 }
 
 // Document returns the engine's document.
@@ -185,14 +200,15 @@ func (e *Engine) sqlEngine() *baseline.SQLEngine {
 }
 
 // TagList returns the pre-sorted list of element nodes carrying the
-// given name id — the nametest(doc, n) fragment of §4.4. Lists are
-// built on first use and cached.
+// given name id — the nametest(doc, n) fragment of §4.4, served by the
+// document's shared index (built at most once per document).
 func (e *Engine) TagList(nameID int32) []int32 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if l, ok := e.tagLists[nameID]; ok {
-		return l
-	}
+	return e.d.TagIndex().Tag(nameID)
+}
+
+// scanTagList rebuilds a tag fragment with an O(n) column scan — the
+// pre-index behaviour behind Options.NoIndex.
+func (e *Engine) scanTagList(nameID int32) []int32 {
 	kind := e.d.KindSlice()
 	name := e.d.NameSlice()
 	var list []int32
@@ -201,7 +217,18 @@ func (e *Engine) TagList(nameID int32) []int32 {
 			list = append(list, int32(v))
 		}
 	}
-	e.tagLists[nameID] = list
+	return list
+}
+
+// scanKindList is scanTagList for a non-element node kind.
+func (e *Engine) scanKindList(k doc.Kind) []int32 {
+	kind := e.d.KindSlice()
+	var list []int32
+	for v := 0; v < e.d.Size(); v++ {
+		if kind[v] == k {
+			list = append(list, int32(v))
+		}
+	}
 	return list
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"staircase/internal/axis"
 	"staircase/internal/doc"
+	"staircase/internal/index"
 	"staircase/internal/xpath"
 )
 
@@ -125,7 +126,7 @@ func (e *Engine) describeOperator(step xpath.Step, context []int32, opts *Option
 		StaircaseNoSkip: "basic scan (Algorithm 2)",
 	}[opts.Strategy]
 	desc := "staircase join, " + variant
-	if step.Test.Kind == xpath.TestName {
+	if list, _, ok := e.pushdownList(step.Test, opts); ok {
 		base := a
 		if a == axis.DescendantOrSelf {
 			base = axis.Descendant
@@ -133,18 +134,24 @@ func (e *Engine) describeOperator(step xpath.Step, context []int32, opts *Option
 		if a == axis.AncestorOrSelf {
 			base = axis.Ancestor
 		}
+		testName := step.Test.String()
 		full := e.estimateJoinTouches(base, context)
-		if rep.Pushed || (base.Partitioning() && e.shouldPush(step.Test.Name, full, opts.Pushdown, parallelWorkersFor(opts, full))) {
-			id, ok := e.d.Names().Lookup(step.Test.Name)
-			frag := 0
-			if ok {
-				frag = len(e.TagList(id))
+		pushed := rep.Pushed || (base.Partitioning() && opts.Pushdown != PushNever &&
+			shouldPush(int64(len(list)), full, opts.Pushdown, parallelWorkersFor(opts, full)))
+		switch {
+		case pushed && !opts.NoIndex:
+			source := "shared tag/kind index"
+			if min, max, nonEmpty := index.Span(list); nonEmpty {
+				source += fmt.Sprintf(", pre span [%d..%d]", min, max)
 			}
-			desc += fmt.Sprintf("\n  pushdown: name test %q pushed below join (fragment %d < full-join bound %d)",
-				step.Test.Name, frag, full)
-		} else if base.Partitioning() {
-			desc += fmt.Sprintf("\n  pushdown: name test %q applied after join (mode %s)",
-				step.Test.Name, opts.Pushdown)
+			desc += fmt.Sprintf("\n  pushdown: test %s pushed below join (fragment %d < full-join bound %d; %s)",
+				testName, len(list), full, source)
+		case pushed:
+			desc += fmt.Sprintf("\n  pushdown: test %s pushed below join (fragment %d < full-join bound %d; name-column scan, index disabled)",
+				testName, len(list), full)
+		case base.Partitioning():
+			desc += fmt.Sprintf("\n  pushdown: test %s applied after join (mode %s, fragment %d vs full-join bound %d)",
+				testName, opts.Pushdown, len(list), full)
 		}
 	}
 	return desc

@@ -162,9 +162,14 @@ func TestParallelPushdownCostInteraction(t *testing.T) {
 	e := New(d)
 	root := []int32{d.Root()}
 	bound := e.estimateJoinTouches(axis.Descendant, root)
+	id, ok := d.Names().Lookup("education")
+	if !ok {
+		t.Fatal("no education tag")
+	}
+	frag := int64(d.TagIndex().TagCount(id))
 	for _, w := range []int{1, 2, 8, 64} {
-		want := e.costPushdown("education", bound, w)
-		got := e.shouldPush("education", bound, PushAuto, w)
+		want := costPushdown(frag, bound, w)
+		got := shouldPush(frag, bound, PushAuto, w)
 		if got != want {
 			t.Fatalf("workers=%d: shouldPush=%v costPushdown=%v", w, got, want)
 		}

@@ -95,18 +95,21 @@ func (e *Engine) evalPartitioning(a axis.Axis, test xpath.NodeTest, context []in
 		}
 		bound := e.estimateJoinTouches(a, context)
 		workers := parallelWorkersFor(opts, bound)
-		if test.Kind == xpath.TestName && e.shouldPush(test.Name, bound, opts.Pushdown, workers) {
-			id, ok := e.d.Names().Lookup(test.Name)
-			if !ok {
-				return nil, nil // tag absent: empty result
+		if opts.Pushdown != PushNever {
+			if list, indexed, ok := e.pushdownList(test, opts); ok &&
+				shouldPush(int64(len(list)), bound, opts.Pushdown, workers) {
+				if len(list) == 0 {
+					return nil, nil // tag/kind absent: empty result
+				}
+				if rep != nil {
+					rep.Pushed = true
+					rep.Indexed = indexed
+				}
+				// Fragment joins stay serial: the node list is binary-
+				// search bounded and the cost model only chose this path
+				// because it beats even the parallel full-document join.
+				return core.JoinNodeList(e.d, a, list, context, co)
 			}
-			if rep != nil {
-				rep.Pushed = true
-			}
-			// Fragment joins stay serial: the tag list is binary-search
-			// bounded and the cost model only chose this path because it
-			// beats even the parallel full-document join.
-			return core.JoinNodeList(e.d, a, e.TagList(id), context, co)
 		}
 		var nodes []int32
 		var err error
@@ -159,19 +162,63 @@ func coreVariant(s Strategy) core.Variant {
 	}
 }
 
-// shouldPush decides name-test pushdown: forced by PushAlways/PushNever,
-// otherwise delegated to the cost model (cost.go). bound is the
-// estimateJoinTouches bound for the step and workers the parallelism
-// the full-document join would run with, which lowers its effective
-// cost.
-func (e *Engine) shouldPush(tag string, bound int64, mode Pushdown, workers int) bool {
+// pushdownList resolves the fragment node list for a pushable node
+// test — the nametest(doc, n) (or kind-test) operand of the §4.4
+// rewrite. Name tests map to the tag list of the interned name; the
+// non-element kind tests text(), comment() and processing-instruction()
+// map to the kind lists the index keeps alongside. With the shared
+// index the list is a slice fetch with exact cardinality and pre span;
+// with Options.NoIndex it is rebuilt by an O(n) column scan (and an
+// absent tag yields an empty list, making the step trivially empty).
+// ok is false for tests that cannot be pushed (*, node(), and named
+// processing instructions, which would need a kind∩name list).
+func (e *Engine) pushdownList(test xpath.NodeTest, opts *Options) (list []int32, indexed, ok bool) {
+	switch test.Kind {
+	case xpath.TestName:
+		id, found := e.d.Names().Lookup(test.Name)
+		if !found {
+			return nil, !opts.NoIndex, true // absent tag: empty fragment
+		}
+		if opts.NoIndex {
+			return e.scanTagList(id), false, true
+		}
+		return e.d.TagIndex().Tag(id), true, true
+	case xpath.TestText:
+		return e.kindFragment(doc.Text, opts)
+	case xpath.TestComment:
+		return e.kindFragment(doc.Comment, opts)
+	case xpath.TestPI:
+		if test.Name != "" {
+			return nil, false, false
+		}
+		return e.kindFragment(doc.PI, opts)
+	default:
+		return nil, false, false
+	}
+}
+
+// kindFragment serves a non-element kind list from the index or by
+// scan.
+func (e *Engine) kindFragment(k doc.Kind, opts *Options) (list []int32, indexed, ok bool) {
+	if opts.NoIndex {
+		return e.scanKindList(k), false, true
+	}
+	return e.d.TagIndex().KindList(uint8(k)), true, true
+}
+
+// shouldPush decides node-test pushdown: forced by PushAlways/PushNever,
+// otherwise delegated to the cost model (cost.go). fragment is the
+// exact fragment cardinality, bound the estimateJoinTouches bound for
+// the step, and workers the parallelism the full-document join would
+// run with, which lowers its effective cost.
+func shouldPush(fragment, bound int64, mode Pushdown, workers int) bool {
 	switch mode {
 	case PushAlways:
 		return true
 	case PushNever:
 		return false
 	default:
-		return e.costPushdown(tag, bound, workers)
+		return costPushdown(fragment, bound, workers)
 	}
 }
 

@@ -1,0 +1,197 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Kinds for test documents; mirrors internal/doc without importing it
+// (the index package is deliberately doc-agnostic).
+const (
+	kElem uint8 = iota
+	kAttr
+	kText
+	kComment
+	kPI
+	kVRoot
+	numKinds
+)
+
+// randomColumns generates a plausible kind/name column pair: elements
+// with tag ids in [0, names), interleaved with non-element nodes.
+func randomColumns(rng *rand.Rand, n, names int) (kinds []uint8, nameCol []int32) {
+	kinds = make([]uint8, n)
+	nameCol = make([]int32, n)
+	for v := 0; v < n; v++ {
+		switch rng.Intn(10) {
+		case 0:
+			kinds[v], nameCol[v] = kAttr, int32(rng.Intn(names))
+		case 1:
+			kinds[v], nameCol[v] = kComment, -1
+		case 2:
+			kinds[v], nameCol[v] = kPI, int32(rng.Intn(names))
+		case 3, 4, 5:
+			kinds[v], nameCol[v] = kText, -1
+		default:
+			kinds[v], nameCol[v] = kElem, int32(rng.Intn(names))
+		}
+	}
+	return kinds, nameCol
+}
+
+func TestBuildMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		names := 1 + rng.Intn(8)
+		kinds, nameCol := randomColumns(rng, n, names)
+		ix := Build(kinds, nameCol, names, int(numKinds), kElem)
+
+		for id := int32(0); int(id) < names; id++ {
+			var want []int32
+			for v := 0; v < n; v++ {
+				if kinds[v] == kElem && nameCol[v] == id {
+					want = append(want, int32(v))
+				}
+			}
+			got := ix.Tag(id)
+			if len(got) != len(want) || ix.TagCount(id) != len(want) {
+				t.Fatalf("trial %d tag %d: %d entries, want %d", trial, id, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d tag %d entry %d: %d vs %d", trial, id, i, got[i], want[i])
+				}
+			}
+		}
+		for k := uint8(0); k < numKinds; k++ {
+			var want []int32
+			if k != kElem {
+				for v := 0; v < n; v++ {
+					if kinds[v] == k {
+						want = append(want, int32(v))
+					}
+				}
+			}
+			got := ix.KindList(k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d kind %d: %d entries, want %d", trial, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d kind %d entry %d differs", trial, k, i)
+				}
+			}
+		}
+		if ix.Entries() != int64(n) {
+			t.Fatalf("trial %d: %d entries indexed, want %d", trial, ix.Entries(), n)
+		}
+	}
+}
+
+func TestSpanAndBytes(t *testing.T) {
+	kinds := []uint8{kElem, kText, kElem, kElem, kText}
+	names := []int32{0, -1, 1, 0, -1}
+	ix := Build(kinds, names, 2, int(numKinds), kElem)
+	if min, max, ok := Span(ix.Tag(0)); !ok || min != 0 || max != 3 {
+		t.Fatalf("tag 0 span = [%d,%d] ok=%v", min, max, ok)
+	}
+	if min, max, ok := Span(ix.Tag(1)); !ok || min != 2 || max != 2 {
+		t.Fatalf("tag 1 span = [%d,%d] ok=%v", min, max, ok)
+	}
+	if _, _, ok := Span(nil); ok {
+		t.Fatal("empty span must report !ok")
+	}
+	if ix.Bytes() < 4*5 {
+		t.Fatalf("Bytes = %d, want at least the entry payload", ix.Bytes())
+	}
+	if ix.KindCount(kText) != 2 || ix.TagCount(0) != 2 || ix.TagCount(1) != 1 {
+		t.Fatal("bad counts")
+	}
+	// Out-of-range lookups are nil, not panics.
+	if ix.Tag(-1) != nil || ix.Tag(99) != nil || ix.KindList(99) != nil {
+		t.Fatal("out-of-range lookups must be nil")
+	}
+}
+
+func TestSectionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(400)
+		names := 1 + rng.Intn(6)
+		kinds, nameCol := randomColumns(rng, n, names)
+		ix := Build(kinds, nameCol, names, int(numKinds), kElem)
+
+		var buf bytes.Buffer
+		if err := ix.WriteSection(&buf); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		got, err := ReadSection(bytes.NewReader(raw), n, names, int(numKinds), kElem)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var buf2 bytes.Buffer
+		if err := got.WriteSection(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, buf2.Bytes()) {
+			t.Fatalf("trial %d: section round trip changed the encoding", trial)
+		}
+	}
+}
+
+func TestReadSectionRejectsCorruption(t *testing.T) {
+	kinds := []uint8{kElem, kElem, kText, kElem, kComment}
+	names := []int32{0, 1, -1, 0, -1}
+	ix := Build(kinds, names, 2, int(numKinds), kElem)
+	var buf bytes.Buffer
+	if err := ix.WriteSection(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	n := len(kinds)
+
+	if _, err := ReadSection(bytes.NewReader(valid), n, 2, int(numKinds), kElem); err != nil {
+		t.Fatalf("valid section rejected: %v", err)
+	}
+
+	// Wrong shape parameters.
+	if _, err := ReadSection(bytes.NewReader(valid), n, 3, int(numKinds), kElem); err == nil {
+		t.Fatal("accepted wrong dictionary size")
+	}
+	if _, err := ReadSection(bytes.NewReader(valid), n, 2, int(numKinds)+1, kElem); err == nil {
+		t.Fatal("accepted wrong kind count")
+	}
+	if _, err := ReadSection(bytes.NewReader(valid), n-1, 2, int(numKinds), kElem); err == nil {
+		t.Fatal("accepted entry total exceeding node count")
+	}
+
+	// Truncations at every byte boundary must error, never panic.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := ReadSection(bytes.NewReader(valid[:cut]), n, 2, int(numKinds), kElem); err == nil {
+			t.Fatalf("accepted truncation at %d bytes", cut)
+		}
+	}
+
+	// Single-byte corruptions must never be silently accepted as a
+	// different index: any accepted mutation must re-serialize
+	// canonically (and in practice the span/sortedness/total checks
+	// reject these).
+	for i := range valid {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0x01
+		got, err := ReadSection(bytes.NewReader(mut), n, 2, int(numKinds), kElem)
+		if err != nil {
+			continue
+		}
+		var re bytes.Buffer
+		if err := got.WriteSection(&re); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re.Bytes(), mut) {
+			t.Fatalf("byte %d: accepted non-canonical section", i)
+		}
+	}
+}

@@ -53,6 +53,10 @@ type Config struct {
 	// request does not set one (0 = serial, engine.AutoParallelism = all
 	// cores, clamped by the worker budget).
 	DefaultParallelism int
+	// NoIndex disables the shared tag/kind index by default: pushdown
+	// fragments are rebuilt by column scan per query (ablation knob,
+	// xpathd -index=false). Individual requests may also set it.
+	NoIndex bool
 	// MaxBatch caps the number of queries in one POST /query request;
 	// <= 0 defaults to 256.
 	MaxBatch int
@@ -131,6 +135,9 @@ type QueryOptions struct {
 	// Parallelism: 0/1 serial, N > 1 up to N staircase-join workers,
 	// -1 all cores. Clamped to the server's worker budget.
 	Parallelism int `json:"parallelism,omitempty"`
+	// NoIndex evaluates without the shared tag/kind index (per-query
+	// column rescans; results are identical — ablation knob).
+	NoIndex bool `json:"noIndex,omitempty"`
 }
 
 // QueryRequest is the POST /query body. Query and Queries may be
@@ -188,8 +195,11 @@ var pushdowns = map[string]engine.Pushdown{
 // join workers for one query than the units the query holds in the
 // pool, keeping the "cannot oversubscribe the machine" contract honest.
 func (s *Server) engineOptions(o *QueryOptions) (*engine.Options, error) {
-	opts := &engine.Options{Parallelism: s.cfg.DefaultParallelism}
+	opts := &engine.Options{Parallelism: s.cfg.DefaultParallelism, NoIndex: s.cfg.NoIndex}
 	if o != nil {
+		if o.NoIndex {
+			opts.NoIndex = true
+		}
 		strat, ok := strategies[o.Strategy]
 		if !ok {
 			return nil, fmt.Errorf("unknown strategy %q", o.Strategy)
@@ -226,9 +236,9 @@ func workerCost(opts *engine.Options) int {
 }
 
 // cacheKey builds the result-cache key. Document generation guards
-// against reload-after-eviction serving stale results; parallelism is
-// deliberately excluded (parallel evaluation is property-tested to be
-// byte-identical to serial).
+// against reload-after-eviction serving stale results; parallelism and
+// the NoIndex ablation knob are deliberately excluded (both are
+// property-tested to be byte-identical to the default evaluation).
 func cacheKey(docName string, gen uint64, opts *engine.Options, query string) string {
 	var sb strings.Builder
 	sb.Grow(len(docName) + len(query) + 32)
@@ -395,10 +405,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		par = n
 	}
+	noIndex := false
+	if v := q.Get("noIndex"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad noIndex %q", v)
+			return
+		}
+		noIndex = b
+	}
 	opts, err := s.engineOptions(&QueryOptions{
 		Strategy:    q.Get("strategy"),
 		Pushdown:    q.Get("pushdown"),
 		Parallelism: par,
+		NoIndex:     noIndex,
 	})
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
@@ -444,6 +464,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit("workers_in_use", int64(s.pool.inUse()))
 	emit("workers_capacity", int64(s.pool.cap))
 	emit("catalog_resident_bytes", s.cat.ResidentBytes())
+	emit("catalog_index_bytes", s.cat.IndexBytes())
 	emit("uptime_seconds", int64(time.Since(s.start).Seconds()))
 }
 

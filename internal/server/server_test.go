@@ -413,3 +413,120 @@ func TestWarmCacheThroughput(t *testing.T) {
 		t.Fatal("warm rounds recorded no cache hits")
 	}
 }
+
+// TestDocsReportIndexBytes: GET /docs must expose the tag/kind index
+// footprint of resident documents, and /metrics the catalog total.
+func TestDocsReportIndexBytes(t *testing.T) {
+	_, ts, _ := newTestServer(t, 1<<20)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Docs []catalog.DocInfo `json:"docs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Docs) == 0 {
+		t.Fatal("no docs")
+	}
+	for _, d := range out.Docs {
+		if d.Resident && d.IndexBytes <= 0 {
+			t.Fatalf("resident doc %q reports no index bytes: %+v", d.Name, d)
+		}
+		if d.Resident && d.Bytes <= d.IndexBytes {
+			t.Fatalf("doc %q bytes %d must include index bytes %d on top of the encoding", d.Name, d.Bytes, d.IndexBytes)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("xpathd_catalog_index_bytes")) {
+		t.Fatalf("metrics missing catalog_index_bytes:\n%s", body)
+	}
+}
+
+// TestExplainShowsIndexHit: /explain names the fragment source and the
+// noIndex query parameter flips it to the scan fallback.
+func TestExplainShowsIndexHit(t *testing.T) {
+	_, ts, _ := newTestServer(t, 1<<20)
+	defer ts.Close()
+
+	get := func(url string) string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s -> %d: %s", url, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	q := "/explain?doc=mem&pushdown=always&q=" + "%2Fdescendant%3A%3Aprofile%2Fdescendant%3A%3Aeducation"
+	out := get(ts.URL + q)
+	if !bytes.Contains([]byte(out), []byte("shared tag/kind index")) {
+		t.Fatalf("explain missing index-hit strategy:\n%s", out)
+	}
+	out = get(ts.URL + q + "&noIndex=true")
+	if !bytes.Contains([]byte(out), []byte("name-column scan, index disabled")) {
+		t.Fatalf("explain missing scan fallback:\n%s", out)
+	}
+}
+
+// TestQueryNoIndexMatchesDefault: the noIndex request knob must not
+// change any result (and must not poison the shared result cache with
+// a different key space — both run through the same cache).
+func TestQueryNoIndexMatchesDefault(t *testing.T) {
+	_, ts, ref := newTestServer(t, 0) // cache disabled: both paths evaluate
+	defer ts.Close()
+
+	for _, q := range []string{
+		"/descendant::profile/descendant::education",
+		"/descendant::increase/ancestor::bidder",
+		"//person/name/text()",
+	} {
+		want, err := ref["mem"].EvalString(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, noIndex := range []bool{false, true} {
+			body, _ := json.Marshal(QueryRequest{
+				Doc:     "mem",
+				Query:   q,
+				Options: &QueryOptions{NoIndex: noIndex, Pushdown: "always"},
+			})
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out QueryResponse
+			err = json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Results) != 1 || out.Results[0].Error != "" {
+				t.Fatalf("bad response: %+v", out)
+			}
+			if out.Results[0].Count != len(want.Nodes) {
+				t.Fatalf("%s noIndex=%v: %d nodes, want %d", q, noIndex, out.Results[0].Count, len(want.Nodes))
+			}
+		}
+	}
+}
