@@ -1,10 +1,11 @@
 // Benchmark-regression gate: a small, fixed family of staircase-join
 // benchmarks that CI measures on every commit and compares against a
 // committed baseline (BENCH_baseline.json). The family covers the four
-// partitioning-axis joins, full Q1/Q2 engine evaluation, and the
+// partitioning-axis joins, full Q1/Q2 engine evaluation, the
 // tag/kind-index hot path (warm index-backed pushdown, the cold rescan
-// baseline, and the index build itself), i.e. the hot paths every
-// perf-oriented PR touches. cmd/benchrun drives it via -gate /
+// baseline, and the index build itself), plan compilation, and the
+// query server's warm plan-cache request path, i.e. the hot paths
+// every perf-oriented PR touches. cmd/benchrun drives it via -gate /
 // -write-baseline and publishes the full Compare record for CI.
 package bench
 
@@ -97,6 +98,24 @@ func smokeFamily(c *Corpus) []struct {
 				}
 			}
 		}},
+		// The plan pipeline: logical build + rewrite + physical
+		// compilation for Q1 (no execution) — the per-request planner
+		// cost the compiled-query and prepared-plan caches amortise.
+		{"PlanCompile", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cq, err := engine.Compile(Q1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Prepare(cq, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// The server's fully warm request path: compiled-query,
+		// prepared-plan and result caches all primed, one POST /query
+		// round trip through the handler per op.
+		{"ServerWarmPlan", serverWarmBench(d)},
 	}
 }
 

@@ -7,11 +7,42 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"testing"
 	"time"
 
 	"staircase/internal/catalog"
+	"staircase/internal/doc"
 	"staircase/internal/server"
 )
+
+// serverWarmBench builds the gate family's warm plan-cache benchmark:
+// a server over the smoke document with every cache primed, measuring
+// one in-process POST /query round trip per op (handler, JSON framing,
+// compiled-query + prepared-plan + result cache hits — no TCP).
+func serverWarmBench(d *doc.Document) func(b *testing.B) {
+	return func(b *testing.B) {
+		cat := catalog.New(0)
+		if err := cat.AddDocument("smoke", d); err != nil {
+			b.Fatal(err)
+		}
+		srv := server.New(server.Config{Catalog: cat, CacheBytes: 64 << 20})
+		h := srv.Handler()
+		body := []byte(`{"doc":"smoke","query":"` + Q1 + `","limit":1}`)
+		do := func() {
+			req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("warm query: %d %s", w.Code, w.Body.String())
+			}
+		}
+		do() // prime compiled-query, prepared-plan and result caches
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			do()
+		}
+	}
+}
 
 // serverQueries is the repeated workload of the throughput experiment:
 // a mix of pushdown-friendly paths, ancestor steps, and wide

@@ -13,10 +13,10 @@ import (
 	"sync"
 	"testing"
 
+	"staircase/bench"
 	"staircase/internal/axis"
 	"staircase/internal/baseline"
 	"staircase/internal/bat"
-	"staircase/internal/bench"
 	"staircase/internal/core"
 	"staircase/internal/doc"
 	"staircase/internal/engine"
@@ -352,6 +352,23 @@ func BenchmarkEnginePushdownCold(b *testing.B) {
 // BenchmarkIndexBuild measures the one-off O(n) index construction the
 // warm path amortises (also the in-memory cost of loading a v1/SCJ1
 // file, which carries no index section).
+// BenchmarkPlanCompile measures the plan pipeline alone — parse,
+// logical build, rewrite, physical compilation for Q1, no execution —
+// the per-request planner cost the server's caches amortise.
+func BenchmarkPlanCompile(b *testing.B) {
+	forSizes(b, func(b *testing.B, c benchCtx) {
+		for i := 0; i < b.N; i++ {
+			cq, err := engine.Compile(bench.Q1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.eng.Prepare(cq, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkIndexBuild(b *testing.B) {
 	forSizes(b, func(b *testing.B, c benchCtx) {
 		for i := 0; i < b.N; i++ {

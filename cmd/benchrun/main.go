@@ -45,7 +45,7 @@ import (
 	"strconv"
 	"strings"
 
-	"staircase/internal/bench"
+	"staircase/bench"
 )
 
 func parseFloats(s string) ([]float64, error) {

@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"staircase/internal/xmark"
+	"staircase"
 )
 
 func main() {
@@ -24,15 +24,13 @@ func main() {
 	stats := flag.Bool("stats", false, "print structural statistics instead of XML")
 	flag.Parse()
 
-	cfg := xmark.Config{SizeMB: *size, Seed: *seed, KeepValues: true}
-
 	if *stats {
-		d, err := xmark.Generate(cfg)
+		d, err := staircase.GenerateXMark(*size, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xmlgen:", err)
 			os.Exit(1)
 		}
-		st := d.ComputeStats()
+		st := d.Stats()
 		fmt.Printf("nodes:      %d (elements %d, attributes %d, text %d)\n",
 			st.Nodes, st.Elements, st.Attributes, st.Texts)
 		fmt.Printf("height:     %d, avg depth %.1f, max fanout %d\n",
@@ -57,7 +55,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := xmark.Write(w, cfg); err != nil {
+	if err := staircase.WriteXMark(w, *size, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "xmlgen:", err)
 		os.Exit(1)
 	}

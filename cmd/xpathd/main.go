@@ -22,6 +22,7 @@
 //	              "/descendant::increase/ancestor::bidder"]
 //	}'
 //	curl -s 'localhost:8080/explain?doc=auction&q=//bidder'
+//	curl -s 'localhost:8080/explain?doc=auction&q=//bidder&format=json'
 //	curl -s localhost:8080/docs
 //	curl -s localhost:8080/metrics
 package main
@@ -38,9 +39,7 @@ import (
 	"syscall"
 	"time"
 
-	"staircase/internal/catalog"
-	"staircase/internal/server"
-	"staircase/internal/xmark"
+	"staircase"
 )
 
 // pairList collects repeatable name=value flags.
@@ -82,13 +81,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	var catOpts []catalog.Option
+	var catOpts []staircase.CatalogOption
 	if !*useIndex {
-		catOpts = append(catOpts, catalog.WithoutIndex())
+		catOpts = append(catOpts, staircase.WithoutIndex())
 	}
-	cat := catalog.New(*catalogMB<<20, catOpts...)
+	cat := staircase.NewCatalog(*catalogMB<<20, catOpts...)
 	for _, kv := range docs {
-		if err := cat.Register(kv.name, kv.value, catalog.FormatAuto); err != nil {
+		if err := cat.Register(kv.name, kv.value); err != nil {
 			fmt.Fprintln(os.Stderr, "xpathd:", err)
 			os.Exit(1)
 		}
@@ -99,18 +98,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xpathd: bad -gen size %q: %v\n", kv.value, err)
 			os.Exit(1)
 		}
-		d, err := xmark.Generate(xmark.Config{SizeMB: mb, Seed: 42, KeepValues: true})
+		d, err := staircase.GenerateXMark(mb, 42)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xpathd:", err)
 			os.Exit(1)
 		}
-		if err := cat.AddDocument(kv.name, d); err != nil {
+		if err := cat.Add(kv.name, d); err != nil {
 			fmt.Fprintln(os.Stderr, "xpathd:", err)
 			os.Exit(1)
 		}
 	}
 
-	srv := server.New(server.Config{
+	srv := staircase.NewServer(staircase.ServerConfig{
 		Catalog:            cat,
 		CacheBytes:         *cacheMB << 20,
 		Workers:            *workers,

@@ -1,16 +1,20 @@
 // Command xpathq loads an XML document into the XPath accelerator
 // encoding and evaluates XPath queries against it with a selectable
-// axis-step strategy — a tiny interactive face for the library.
+// axis-step strategy — a tiny interactive face for the public
+// staircase package.
 //
 // Usage:
 //
 //	xpathq -f doc.xml '//person[profile/education]/name'
 //	xpathq -f doc.xml -strategy sql -stats '/descendant::increase/ancestor::bidder'
 //	xpathq -f doc.xml -parallel -1 -stats '/descendant::open_auction/descendant::bidder'
+//	xpathq -f doc.xml -explain '//bidder[descendant::increase]'
+//	xpathq -f doc.xml -explain -json '//bidder'
 //	xmlgen -size 1 | xpathq '/descendant::profile/descendant::education'
 //
 // Output: one line per result node with pre rank, kind, name and (for
-// small results) the serialized node.
+// small results) the serialized node. -explain prints the optimized
+// plan tree instead (text, or JSON with -json).
 package main
 
 import (
@@ -18,32 +22,32 @@ import (
 	"fmt"
 	"os"
 
-	"staircase/internal/doc"
-	"staircase/internal/engine"
+	"staircase"
 )
 
 // strategies maps flag values to engine strategies.
-var strategies = map[string]engine.Strategy{
-	"staircase":        engine.Staircase,
-	"staircase-skip":   engine.StaircaseSkip,
-	"staircase-noskip": engine.StaircaseNoSkip,
-	"naive":            engine.Naive,
-	"sql":              engine.SQL,
-	"sql-window":       engine.SQLWindow,
+var strategies = map[string]staircase.Strategy{
+	"staircase":        staircase.Staircase,
+	"staircase-skip":   staircase.StaircaseSkip,
+	"staircase-noskip": staircase.StaircaseNoSkip,
+	"naive":            staircase.NaiveStrategy,
+	"sql":              staircase.SQLStrategy,
+	"sql-window":       staircase.SQLWindowStrategy,
 }
 
-var pushdowns = map[string]engine.Pushdown{
-	"auto":   engine.PushAuto,
-	"always": engine.PushAlways,
-	"never":  engine.PushNever,
+var pushdowns = map[string]staircase.PushdownMode{
+	"auto":   staircase.PushAuto,
+	"always": staircase.PushAlways,
+	"never":  staircase.PushNever,
 }
 
 func main() {
-	file := flag.String("f", "", "XML file (default: stdin)")
+	file := flag.String("f", "", "XML or SCJ binary file (default: stdin; format sniffed)")
 	strategy := flag.String("strategy", "staircase", "axis-step strategy: staircase, staircase-skip, staircase-noskip, naive, sql, sql-window")
 	pushdown := flag.String("pushdown", "auto", "name-test pushdown: auto, always, never")
 	stats := flag.Bool("stats", false, "print per-step statistics")
-	explain := flag.Bool("explain", false, "print the physical plan instead of results")
+	explain := flag.Bool("explain", false, "print the optimized physical plan instead of results")
+	asJSON := flag.Bool("json", false, "with -explain: print the plan tree as JSON")
 	limit := flag.Int("limit", 20, "max result nodes to print (0 = all)")
 	parallel := flag.Int("parallel", 0, "staircase-join workers: 0/1 = serial, N > 1 = up to N workers, -1 = GOMAXPROCS")
 	useIndex := flag.Bool("index", true, "use the shared tag/kind index for name-test pushdown (false: per-step column rescan; results identical)")
@@ -66,34 +70,37 @@ func main() {
 		os.Exit(2)
 	}
 
-	in := os.Stdin
+	var d *staircase.Document
+	var err error
 	if *file != "" {
-		f, err := os.Open(*file)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "xpathq:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		in = f
+		d, err = staircase.Open(*file)
+	} else {
+		d, err = staircase.Load(os.Stdin)
 	}
-	d, err := doc.Shred(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xpathq:", err)
 		os.Exit(1)
 	}
 
-	e := engine.New(d)
-	eopts := &engine.Options{Strategy: strat, Pushdown: push, Parallelism: *parallel, NoIndex: !*useIndex}
+	opts := &staircase.Options{Strategy: strat, Pushdown: push, Parallelism: *parallel, NoIndex: !*useIndex}
 	if *explain {
-		out, err := e.Explain(query, eopts)
+		var out []byte
+		if *asJSON {
+			out, err = d.ExplainJSON(query, opts)
+			out = append(out, '\n')
+		} else {
+			var text string
+			text, err = d.Explain(query, opts)
+			out = []byte(text)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xpathq:", err)
 			os.Exit(1)
 		}
-		fmt.Print(out)
+		os.Stdout.Write(out)
 		return
 	}
-	res, err := e.EvalString(query, eopts)
+	res, err := d.Query(query, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xpathq:", err)
 		os.Exit(1)
@@ -105,8 +112,8 @@ func main() {
 		shown = *limit
 	}
 	for _, v := range res.Nodes[:shown] {
-		line := fmt.Sprintf("pre=%-8d %-22s %s", v, d.KindOf(v), d.Name(v))
-		if d.KindOf(v) != doc.Elem || d.SubtreeSize(v) < 16 {
+		line := fmt.Sprintf("pre=%-8d %-22s %s", v, d.Kind(v), d.Name(v))
+		if d.Kind(v) != staircase.ElemNode || d.SubtreeSize(v) < 16 {
 			if x := d.XML(v); len(x) < 120 {
 				line += "  " + x
 			}

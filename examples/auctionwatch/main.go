@@ -12,8 +12,7 @@ import (
 	"log"
 	"time"
 
-	"staircase/internal/engine"
-	"staircase/internal/xmark"
+	"staircase"
 )
 
 func main() {
@@ -21,12 +20,11 @@ func main() {
 	flag.Parse()
 
 	fmt.Printf("generating %.1f MB auction site...\n", *size)
-	d, err := xmark.Generate(xmark.Config{SizeMB: *size, Seed: 7, KeepValues: true})
+	d, err := staircase.GenerateXMark(*size, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d nodes, height %d\n\n", d.Size(), d.Height())
-	e := engine.New(d)
+	fmt.Printf("%d nodes, height %d\n\n", d.NumNodes(), d.Height())
 
 	// The paper's benchmark queries.
 	queries := []struct{ name, q string }{
@@ -39,20 +37,20 @@ func main() {
 
 	configs := []struct {
 		name string
-		opts engine.Options
+		opts staircase.Options
 	}{
-		{"staircase (skip+estimate)", engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushNever}},
-		{"staircase + early nametest", engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushAlways}},
-		{"naive region queries", engine.Options{Strategy: engine.Naive}},
-		{"SQL plan (B-tree semijoin)", engine.Options{Strategy: engine.SQL}},
+		{"staircase (skip+estimate)", staircase.Options{Strategy: staircase.Staircase, Pushdown: staircase.PushNever}},
+		{"staircase + early nametest", staircase.Options{Strategy: staircase.Staircase, Pushdown: staircase.PushAlways}},
+		{"naive region queries", staircase.Options{Strategy: staircase.NaiveStrategy}},
+		{"SQL plan (B-tree semijoin)", staircase.Options{Strategy: staircase.SQLStrategy}},
 	}
 
 	for _, q := range queries {
 		fmt.Printf("%s\n  %s\n", q.name, q.q)
-		var expect int = -1
+		expect := -1
 		for _, cfg := range configs {
 			start := time.Now()
-			res, err := e.EvalString(q.q, &cfg.opts)
+			res, err := d.Query(q.q, &cfg.opts)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -69,8 +67,8 @@ func main() {
 	}
 
 	// Work counters: what the staircase join actually touched for Q2.
-	res, err := e.EvalString("/descendant::increase/ancestor::bidder",
-		&engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushNever})
+	res, err := d.Query("/descendant::increase/ancestor::bidder",
+		&staircase.Options{Strategy: staircase.Staircase, Pushdown: staircase.PushNever})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,9 +12,7 @@ import (
 	"log"
 	"strings"
 
-	"staircase/internal/doc"
-	"staircase/internal/engine"
-	"staircase/internal/xpath"
+	"staircase"
 )
 
 var catalogues = []string{
@@ -37,17 +35,15 @@ func main() {
 	for i, c := range catalogues {
 		readers[i] = strings.NewReader(c)
 	}
-	d, err := doc.ShredCollection(readers)
+	d, err := staircase.LoadCollection(readers...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("collection: %d documents, %d nodes total\n\n",
-		len(catalogues), d.Size())
-
-	e := engine.New(d)
+		len(catalogues), d.NumNodes())
 
 	// Queries span the whole collection transparently.
-	titles, err := e.EvalString("//book/title", nil)
+	titles, err := d.Query("//book/title", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +52,7 @@ func main() {
 		fmt.Printf("  - %s\n", d.StringValue(v))
 	}
 
-	cheap, err := e.EvalString("//book[price = '25']/title", nil)
+	cheap, err := d.Query("//book[price = '25']/title", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,12 +64,12 @@ func main() {
 	// Which document does a hit come from? Walk ancestors up to the
 	// collection roots (children of the virtual root).
 	fmt.Println("\nprovenance of every Grust book:")
-	hits, err := e.EvalString("//book[author = 'Grust']", nil)
+	hits, err := d.Query("//book[author = 'Grust']", nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, v := range hits.Nodes {
-		anc, err := e.Eval(xpath.MustParse("ancestor::*"), []int32{v}, nil)
+		anc, err := d.QueryFrom([]int32{v}, "ancestor::*", nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,13 +80,13 @@ func main() {
 			where += " " + d.Name(attrs[0]) + "=" + d.Value(attrs[0])
 		}
 		fmt.Printf("  %q found in <%s>\n",
-			d.StringValue(mustChild(e, v, "title")), where)
+			d.StringValue(mustChild(d, v, "title")), where)
 	}
 }
 
 // mustChild returns the first child of v with the given tag.
-func mustChild(e *engine.Engine, v int32, tag string) int32 {
-	r, err := e.Eval(xpath.MustParse(tag), []int32{v}, nil)
+func mustChild(d *staircase.Document, v int32, tag string) int32 {
+	r, err := d.QueryFrom([]int32{v}, tag, nil)
 	if err != nil || len(r.Nodes) == 0 {
 		log.Fatalf("no %s child", tag)
 	}

@@ -1,6 +1,9 @@
 // Fragments: the paper's Future Research extensions (§6) — tag-name
 // fragmentation ("Q1 could be brought down from 345 ms to 39 ms") and
-// partition-parallel staircase joins over the pre/post plane (§3.2).
+// partition-parallel staircase joins (§3.2) — as they surface in the
+// public plan API: the optimizer pushes name tests below the join as
+// IndexScan fragments, and the cost model places parallel partition
+// workers; EXPLAIN shows both decisions.
 //
 //	go run ./examples/fragments [-size 4]
 package main
@@ -12,74 +15,75 @@ import (
 	"runtime"
 	"time"
 
-	"staircase/internal/axis"
-	"staircase/internal/core"
-	"staircase/internal/engine"
-	"staircase/internal/frag"
-	"staircase/internal/xmark"
+	"staircase"
 )
+
+const q1 = "/descendant::profile/descendant::education"
 
 func main() {
 	size := flag.Float64("size", 4, "document size in MB")
 	flag.Parse()
 
-	d, err := xmark.Generate(xmark.Config{SizeMB: *size, Seed: 11})
+	d, err := staircase.GenerateXMark(*size, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("document: %d nodes\n\n", d.Size())
+	fmt.Printf("document: %d nodes\n\n", d.NumNodes())
 
 	// --- fragmentation by tag name -----------------------------------
-	store := frag.NewStore(d)
-	fmt.Printf("fragmented into %d tag fragments (profile: %d nodes, education: %d nodes)\n",
-		store.Fragments(), len(store.Fragment("profile")), len(store.Fragment("education")))
-
-	e := engine.New(d)
-	const q1 = "/descendant::profile/descendant::education"
-
-	start := time.Now()
-	full, err := e.EvalString(q1, &engine.Options{Strategy: engine.Staircase, Pushdown: engine.PushNever})
-	if err != nil {
-		log.Fatal(err)
+	// PushNever scans the full plane per step; the default lets the
+	// cost model run each join over the tag fragment served by the
+	// shared index — the §6 fragmentation win, decided per operator.
+	full := timeQuery(d, q1, &staircase.Options{Pushdown: staircase.PushNever})
+	frag := timeQuery(d, q1, &staircase.Options{Pushdown: staircase.PushAlways})
+	if full.count != frag.count {
+		log.Fatalf("results disagree: %d vs %d", full.count, frag.count)
 	}
-	tFull := time.Since(start)
-
-	steps := []frag.PathStep{
-		{Axis: axis.Descendant, Tag: "profile"},
-		{Axis: axis.Descendant, Tag: "education"},
-	}
-	start = time.Now()
-	fragged, err := store.Path(steps, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tFrag := time.Since(start)
-
-	if len(full.Nodes) != len(fragged) {
-		log.Fatalf("results disagree: %d vs %d", len(full.Nodes), len(fragged))
-	}
-	fmt.Printf("Q1 full plane:  %8.3fms\n", msf(tFull))
+	fmt.Printf("Q1 full plane:  %8.3fms\n", full.ms)
 	fmt.Printf("Q1 fragments:   %8.3fms   (%.1fx faster, %d results either way)\n\n",
-		msf(tFrag), float64(tFull)/float64(tFrag), len(fragged))
+		frag.ms, full.ms/frag.ms, frag.count)
+
+	// The plan tree names the fragment source of every pushed step.
+	p, err := d.Prepare(q1, &staircase.Options{Pushdown: staircase.PushAlways})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.MustExplain())
 
 	// --- partition-parallel execution --------------------------------
-	inc, err := e.EvalString("/descendant::increase", nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("parallel ancestor step over %d context nodes (up to %d CPUs):\n",
-		len(inc.Nodes), runtime.NumCPU())
-	var base time.Duration
+	// A wide ancestor step over every increase node; the partitioned
+	// staircase join fans out across disjoint pre ranges.
+	const wide = "/descendant::increase/ancestor::node()"
+	fmt.Printf("parallel ancestor step (up to %d CPUs):\n", runtime.NumCPU())
+	var base float64
 	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
-		start := time.Now()
-		res := frag.ParallelAncestorJoin(d, inc.Nodes, workers, &core.Options{Variant: core.SkipEstimate})
-		dur := time.Since(start)
+		r := timeQuery(d, wide, &staircase.Options{Pushdown: staircase.PushNever, Parallelism: workers})
 		if base == 0 {
-			base = dur
+			base = r.ms
 		}
 		fmt.Printf("  %2d worker(s): %8.3fms  (%.2fx, %d ancestors)\n",
-			workers, msf(dur), float64(base)/float64(dur), len(res))
+			workers, r.ms, base/r.ms, r.count)
 	}
 }
 
-func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+type timing struct {
+	count int
+	ms    float64
+}
+
+func timeQuery(d *staircase.Document, q string, opts *staircase.Options) timing {
+	// Fastest of three runs, the usual noise-robust micro-measurement.
+	best := timing{ms: -1}
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		res, err := d.Query(q, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if best.ms < 0 || ms < best.ms {
+			best = timing{count: len(res.Nodes), ms: ms}
+		}
+	}
+	return best
+}

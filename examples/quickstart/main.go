@@ -1,5 +1,6 @@
-// Quickstart: shred an XML document into the pre/post plane, evaluate
-// XPath queries with the staircase join, and inspect the result nodes.
+// Quickstart: load an XML document into the pre/post plane, evaluate
+// XPath queries with the staircase join through the public staircase
+// package, and look at the optimized plan of a query.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,8 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	"staircase/internal/doc"
-	"staircase/internal/engine"
+	"staircase"
 )
 
 const library = `
@@ -25,15 +25,14 @@ const library = `
 
 func main() {
 	// 1. Shred: one pass assigns every node its <pre, post> rank.
-	d, err := doc.ShredString(library)
+	d, err := staircase.ParseXML(library)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("document: %d nodes, height %d\n\n", d.Size(), d.Height())
+	fmt.Printf("document: %d nodes, height %d\n\n", d.NumNodes(), d.Height())
 
-	// 2. Query with the default engine (staircase join with
+	// 2. Query with the default configuration (staircase join with
 	//    estimation-based skipping, automatic name-test pushdown).
-	e := engine.New(d)
 	for _, q := range []string{
 		"//book/title",
 		"//book[author = 'Grust']/title",
@@ -41,7 +40,7 @@ func main() {
 		"//book[2]/author[last()]",
 		"//shelf[@floor = '2']//author",
 	} {
-		res, err := e.EvalString(q, nil)
+		res, err := d.Query(q, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,9 +52,19 @@ func main() {
 	}
 
 	// 3. Look under the hood: the pre/post encoding of a node.
-	res, _ := e.EvalString("//book[1]", nil)
+	res, _ := d.Query("//book[1]", nil)
 	v := res.Nodes[0]
 	fmt.Printf("\nfirst book: pre=%d post=%d level=%d |subtree|=%d (Equation 1)\n",
 		v, d.Post(v), d.Level(v), d.SubtreeSize(v))
 	fmt.Println(d.XML(v))
+
+	// 4. Queries are compiled into explicit plans; EXPLAIN shows the
+	//    optimized operator tree (note the // abbreviation collapsing
+	//    into a single staircase join with an index-scan fragment).
+	p, err := d.Prepare("//book/title", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan for //book/title (canonical: %s)\n", p.Canon())
+	fmt.Print(p.MustExplain())
 }

@@ -11,8 +11,8 @@ import (
 	"sync"
 	"testing"
 
+	"staircase/bench"
 	"staircase/internal/axis"
-	"staircase/internal/bench"
 	"staircase/internal/catalog"
 	"staircase/internal/core"
 	"staircase/internal/doc"

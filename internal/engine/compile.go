@@ -1,25 +1,34 @@
 package engine
 
-import "staircase/internal/xpath"
+import (
+	"staircase/internal/plan"
+	"staircase/internal/xpath"
+)
 
-// Compiled is a parsed, reusable query handle. Parsing an XPath query
-// is pure — the AST references no document — so one Compiled can be
-// evaluated many times, concurrently, and against different engines.
-// Long-lived callers (the query server, benchmark loops) compile once
-// and skip the per-request parser work.
+// Compiled is a parsed, reusable query handle: the AST plus the
+// rewritten logical plan. Both are document-independent — parsing and
+// the logical rewrites reference no document — so one Compiled can be
+// prepared or evaluated many times, concurrently, and against
+// different engines. Long-lived callers (the query server, benchmark
+// loops) compile once and skip the per-request parser and rewriter
+// work.
 type Compiled struct {
-	src string
-	q   xpath.Query
+	src     string
+	q       xpath.Query
+	logical *plan.Logical
 }
 
-// Compile parses a query (a location path, or a union of paths combined
-// with '|') into a reusable handle.
+// Compile parses a query (a location path, or a union of paths
+// combined with '|') into a reusable handle, building and rewriting
+// its logical plan.
 func Compile(query string) (*Compiled, error) {
 	q, err := xpath.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{src: query, q: q}, nil
+	l := plan.BuildLogical(q)
+	plan.Rewrite(l)
+	return &Compiled{src: query, q: q, logical: l}, nil
 }
 
 // Source returns the query text the handle was compiled from.
@@ -28,8 +37,95 @@ func (c *Compiled) Source() string { return c.src }
 // Query returns the parsed form.
 func (c *Compiled) Query() xpath.Query { return c.q }
 
+// Logical returns the rewritten logical plan (shared, read-only).
+func (c *Compiled) Logical() *plan.Logical { return c.logical }
+
 // EvalCompiled evaluates a compiled query with the document root as the
 // initial context, exactly as EvalString would for the same text.
 func (e *Engine) EvalCompiled(c *Compiled, opts *Options) (*Result, error) {
-	return e.EvalQuery(c.q, []int32{e.d.Root()}, opts)
+	p, err := e.Prepare(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}
+
+// Prepared is a physical plan bound to one engine's document under one
+// options configuration: the product of logical plan + optimizer.
+// Prepared plans are immutable and safe for concurrent Run calls; the
+// query server caches them per (document generation, options, query).
+type Prepared struct {
+	eng *Engine
+	pl  *plan.Plan
+}
+
+// Prepare compiles the query's logical plan into a physical plan for
+// this engine's document.
+func (e *Engine) Prepare(c *Compiled, opts *Options) (*Prepared, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	pl, err := plan.Compile(e.env, c.logical, planOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{eng: e, pl: pl}, nil
+}
+
+// PrepareString parses, rewrites and prepares in one call.
+func (e *Engine) PrepareString(query string, opts *Options) (*Prepared, error) {
+	c, err := Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Prepare(c, opts)
+}
+
+// Plan returns the underlying physical plan.
+func (p *Prepared) Plan() *plan.Plan { return p.pl }
+
+// Canon returns the canonical optimized-plan string — the result-cache
+// key under which equivalent queries collide (see plan.Plan.Canon).
+func (p *Prepared) Canon() string { return p.pl.Canon() }
+
+// Rewrites lists the rewrite rules applied to this plan.
+func (p *Prepared) Rewrites() []string { return p.pl.Rewrites() }
+
+// Run executes the plan with the document root as initial context.
+func (p *Prepared) Run() (*Result, error) {
+	r, err := p.pl.RunRoot()
+	if err != nil {
+		return nil, err
+	}
+	return planResult(r), nil
+}
+
+// RunContext executes the plan with an explicit initial context
+// (relative paths evaluate from these nodes; absolute paths still
+// reset to the document root).
+func (p *Prepared) RunContext(context []int32) (*Result, error) {
+	r, err := p.pl.Run(context)
+	if err != nil {
+		return nil, err
+	}
+	return planResult(r), nil
+}
+
+// Explain executes the plan and renders the optimized operator tree
+// with per-operator fragment sources and actual cardinalities.
+func (p *Prepared) Explain() (string, error) {
+	r, err := p.pl.RunRoot()
+	if err != nil {
+		return "", err
+	}
+	return p.pl.ExplainText(r), nil
+}
+
+// ExplainJSON is Explain in machine-readable form.
+func (p *Prepared) ExplainJSON() ([]byte, error) {
+	r, err := p.pl.RunRoot()
+	if err != nil {
+		return nil, err
+	}
+	return p.pl.ExplainJSON(r)
 }

@@ -6,6 +6,13 @@ import (
 	"staircase/internal/axis"
 )
 
+// FROZEN LEGACY COPY — the live cost model lives in internal/plan
+// (cost.go); these duplicates exist only so the Options.LegacyEval
+// oracle path stays bit-for-bit what the plan compiler was verified
+// against. Do not evolve them: change internal/plan and let the
+// differential suite (plan_equiv_test.go) catch any drift. They go
+// away with LegacyEval.
+//
 // Cost model for name-test pushdown (the paper's §6: "Further research
 // goes in the direction of a cost model to be able to intelligently
 // choose between name/node test pushdown and related XPath rewriting
@@ -125,11 +132,4 @@ func parallelWorkersFor(opts *Options, bound int64) int {
 		return 1
 	}
 	return w
-}
-
-// parallelWorkers is parallelWorkersFor with the bound computed from
-// the axis and context (steps that already hold the bound use
-// parallelWorkersFor directly to avoid a second estimate pass).
-func (e *Engine) parallelWorkers(a axis.Axis, context []int32, opts *Options) int {
-	return parallelWorkersFor(opts, e.estimateJoinTouches(a, context))
 }

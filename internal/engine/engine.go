@@ -1,13 +1,17 @@
 // Package engine evaluates XPath location paths over pre/post encoded
 // documents, with the staircase join as the axis-step workhorse.
 //
-// The engine plays the role of the paper's query processor above the
-// kernel: it compiles each location step into (1) an axis evaluation —
-// a staircase join for the four partitioning axes, positional/parent
-// lookups for the remaining axes — and (2) node-test and predicate
-// filters. A per-step strategy knob selects between the staircase join
-// variants and the tree-unaware baselines, which is exactly the
-// comparison matrix of the paper's Experiments 1–3.
+// The engine is the evaluation façade over the plan compiler
+// (internal/plan): Eval and EvalString build the logical plan, apply
+// the rewrite rules, compile the physical plan against the document
+// and execute it; Compile returns a reusable parse+rewrite handle and
+// Prepare a bound physical plan for callers that run one query many
+// times (the query server, benchmark loops). A per-step strategy knob
+// selects between the staircase join variants and the tree-unaware
+// baselines, which is exactly the comparison matrix of the paper's
+// Experiments 1–3. The pre-plan recursive step interpreter is kept,
+// verbatim, behind Options.LegacyEval as the oracle of the plan ≡
+// legacy differential property suite (plan_equiv_test.go).
 //
 // Name-test pushdown (§4.4): for a step like ancestor::bidder the
 // engine may rewrite
@@ -39,81 +43,50 @@ package engine
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"staircase/internal/axis"
 	"staircase/internal/baseline"
 	"staircase/internal/core"
 	"staircase/internal/doc"
+	"staircase/internal/plan"
 	"staircase/internal/xpath"
 )
 
-// Strategy selects the axis-step algorithm for partitioning axes.
-type Strategy uint8
+// Strategy selects the axis-step algorithm for partitioning axes. It
+// is an alias of plan.Strategy: the planner owns the strategy space,
+// the engine re-exports it for its callers.
+type Strategy = plan.Strategy
 
 const (
 	// Staircase is the paper's full configuration: staircase join with
 	// estimation-based skipping.
-	Staircase Strategy = iota
+	Staircase = plan.Staircase
 	// StaircaseSkip uses plain skipping (Algorithm 3).
-	StaircaseSkip
+	StaircaseSkip = plan.StaircaseSkip
 	// StaircaseNoSkip uses the basic algorithm (Algorithm 2).
-	StaircaseNoSkip
+	StaircaseNoSkip = plan.StaircaseNoSkip
 	// Naive evaluates one region query per context node and removes
 	// duplicates afterwards (Experiment 1's strawman).
-	Naive
+	Naive = plan.Naive
 	// SQL mimics the tree-unaware indexed plan of Figure 3.
-	SQL
+	SQL = plan.SQL
 	// SQLWindow is SQL plus the Equation (1) window predicate (§2.1).
-	SQLWindow
+	SQLWindow = plan.SQLWindow
 )
 
-// String names the strategy.
-func (s Strategy) String() string {
-	switch s {
-	case Staircase:
-		return "staircase"
-	case StaircaseSkip:
-		return "staircase-skip"
-	case StaircaseNoSkip:
-		return "staircase-noskip"
-	case Naive:
-		return "naive"
-	case SQL:
-		return "sql"
-	case SQLWindow:
-		return "sql-window"
-	default:
-		return fmt.Sprintf("Strategy(%d)", uint8(s))
-	}
-}
-
-// Pushdown controls name-test pushdown for staircase strategies.
-type Pushdown uint8
+// Pushdown controls name-test pushdown for staircase strategies (an
+// alias of plan.Pushdown).
+type Pushdown = plan.Pushdown
 
 const (
 	// PushAuto decides by tag selectivity (the cost-model heuristic).
-	PushAuto Pushdown = iota
+	PushAuto = plan.PushAuto
 	// PushAlways forces pushdown whenever a name test is present.
-	PushAlways
+	PushAlways = plan.PushAlways
 	// PushNever evaluates the join first and filters afterwards.
-	PushNever
+	PushNever = plan.PushNever
 )
-
-// String names the pushdown mode.
-func (p Pushdown) String() string {
-	switch p {
-	case PushAuto:
-		return "auto"
-	case PushAlways:
-		return "always"
-	case PushNever:
-		return "never"
-	default:
-		return fmt.Sprintf("Pushdown(%d)", uint8(p))
-	}
-}
 
 // AutoParallelism requests one staircase-join worker per available CPU
 // (runtime.GOMAXPROCS) when assigned to Options.Parallelism.
@@ -137,6 +110,22 @@ type Options struct {
 	// scan per step (the pre-index behaviour). Results are identical;
 	// the knob exists for ablation and the rescan-baseline benchmarks.
 	NoIndex bool
+	// LegacyEval bypasses the plan compiler and evaluates with the
+	// pre-plan recursive step interpreter. Results are identical — the
+	// property suite asserts plan ≡ legacy across random queries — and
+	// the knob exists only for that differential testing; it will be
+	// removed once the interpreter is retired.
+	LegacyEval bool
+}
+
+// planOptions converts engine options to planner options.
+func planOptions(o *Options) *plan.Options {
+	return &plan.Options{
+		Strategy:    o.Strategy,
+		Pushdown:    o.Pushdown,
+		Parallelism: o.Parallelism,
+		NoIndex:     o.NoIndex,
+	}
 }
 
 // StepReport records per-step evaluation statistics.
@@ -175,28 +164,26 @@ type Result struct {
 // baseline (mutex-guarded); pushdown fragments live in the document's
 // shared immutable tag/kind index, not in the engine.
 type Engine struct {
-	d *doc.Document
-
-	mu  sync.Mutex
-	sql *baseline.SQLEngine
+	d   *doc.Document
+	env *plan.Env
 }
 
 // New returns an engine over the document.
 func New(d *doc.Document) *Engine {
-	return &Engine{d: d}
+	return &Engine{d: d, env: plan.NewEnv(d)}
 }
+
+// Env returns the plan execution environment of the engine (shared
+// per-document runtime state for the planner's operators).
+func (e *Engine) Env() *plan.Env { return e.env }
 
 // Document returns the engine's document.
 func (e *Engine) Document() *doc.Document { return e.d }
 
-// sqlEngine lazily builds the B-tree indexes of the SQL baseline.
+// sqlEngine lazily builds the B-tree indexes of the SQL baseline
+// (shared with the planner via the engine's Env).
 func (e *Engine) sqlEngine() *baseline.SQLEngine {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.sql == nil {
-		e.sql = baseline.NewSQLEngine(e.d)
-	}
-	return e.sql
+	return e.env.SQL()
 }
 
 // TagList returns the pre-sorted list of element nodes carrying the
@@ -249,6 +236,12 @@ func (e *Engine) EvalString(query string, opts *Options) (*Result, error) {
 // sequence (XPath '|' semantics). Step reports concatenate in path
 // order.
 func (e *Engine) EvalQuery(q xpath.Query, context []int32, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if !opts.LegacyEval {
+		return e.evalPlan(q, context, opts)
+	}
 	if len(q.Paths) == 1 {
 		return e.Eval(q.Paths[0], context, opts)
 	}
@@ -264,12 +257,54 @@ func (e *Engine) EvalQuery(q xpath.Query, context []int32, opts *Options) (*Resu
 	return res, nil
 }
 
+// evalPlan evaluates a query through the plan pipeline: build the
+// logical plan, rewrite, compile against this document, execute.
+func (e *Engine) evalPlan(q xpath.Query, context []int32, opts *Options) (*Result, error) {
+	l := plan.BuildLogical(q)
+	plan.Rewrite(l)
+	pl, err := plan.Compile(e.env, l, planOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	r, err := pl.Run(context)
+	if err != nil {
+		return nil, err
+	}
+	return planResult(r), nil
+}
+
+// planResult converts a plan execution result to the engine's report
+// form (the two are field-compatible by construction).
+func planResult(r *plan.Result) *Result {
+	res := &Result{Nodes: r.Nodes, Steps: make([]StepReport, len(r.Steps))}
+	for i, s := range r.Steps {
+		res.Steps[i] = StepReport{
+			Step:       s.Step,
+			Axis:       s.Axis,
+			InputSize:  s.InputSize,
+			OutputSize: s.OutputSize,
+			Pushed:     s.Pushed,
+			Indexed:    s.Indexed,
+			Core:       s.Core,
+			Naive:      s.Naive,
+			Duration:   s.Duration,
+		}
+	}
+	return res
+}
+
 // Eval evaluates a parsed path against an initial context sequence
-// (document order, duplicate free). Absolute paths reset the context to
-// the document root.
+// (document order, duplicate free). Absolute paths reset the context
+// to the document root. The default route is the plan pipeline
+// (build, rewrite, compile, execute); Options.LegacyEval selects the
+// pre-plan recursive step interpreter below, kept for differential
+// testing.
 func (e *Engine) Eval(p xpath.Path, context []int32, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{}
+	}
+	if !opts.LegacyEval {
+		return e.evalPlan(xpath.Query{Paths: []xpath.Path{p}}, context, opts)
 	}
 	cur := context
 	if p.Absolute {

@@ -1,158 +1,33 @@
 package engine
 
-import (
-	"fmt"
-	"runtime"
-	"strings"
-
-	"staircase/internal/axis"
-	"staircase/internal/doc"
-	"staircase/internal/index"
-	"staircase/internal/xpath"
-)
-
-// Explain renders the physical plan the engine would run for a query —
-// the counterpart of the DB2 plan analysis in the paper's Figure 3.
-// For each location step it shows the chosen operator (staircase join
-// variant, naive region queries, or the B-tree semijoin), the
-// name-test pushdown decision with the cost model's estimates, and the
-// post-processing the operator saves or needs (unique/sort).
+// EXPLAIN renders the optimized physical plan the engine runs for a
+// query — the counterpart of the DB2 plan analysis in the paper's
+// Figure 3, now produced by the plan compiler: the operator tree with
+// the rewrite rules that fired, each operator's fragment source
+// (shared tag/kind index vs name-column scan), the pushdown and
+// parallel decisions with the cost model's bounds, and per-operator
+// cardinalities.
 //
-// The context sizes used by the cost model are unknown before
-// execution, so Explain *evaluates the path step by step* (plans in
-// this engine are cheap to run relative to parsing a 100 MB document)
-// and reports the actual decision taken at each step.
+// The context sizes the cost model decides with are unknown before
+// execution, so Explain *executes the plan* (plans in this engine are
+// cheap to run relative to parsing a 100 MB document) and reports the
+// actual decision taken and the actual cardinality at each operator,
+// next to the compile-time estimates.
+
+// Explain returns the executed plan tree in text form.
 func (e *Engine) Explain(query string, opts *Options) (string, error) {
-	q, err := xpath.ParseQuery(query)
+	p, err := e.PrepareString(query, opts)
 	if err != nil {
 		return "", err
 	}
-	if opts == nil {
-		opts = &Options{}
-	}
-	var sb strings.Builder
-	for pi, p := range q.Paths {
-		if len(q.Paths) > 1 {
-			fmt.Fprintf(&sb, "union branch %d: %s\n", pi+1, p)
-		}
-		if err := e.explainPath(&sb, p, opts); err != nil {
-			return "", err
-		}
-		if len(q.Paths) > 1 {
-			sb.WriteString("merge-union (document order preserved)\n")
-		}
-	}
-	return sb.String(), nil
+	return p.Explain()
 }
 
-func (e *Engine) explainPath(sb *strings.Builder, p xpath.Path, opts *Options) error {
-	cur := []int32{e.d.Root()}
-	for i, step := range p.Steps {
-		rep := StepReport{}
-		var next []int32
-		var err error
-		if i == 0 && p.Absolute && e.d.KindOf(e.d.Root()) != doc.VRoot {
-			next, err = e.evalDocRootStep(step, opts, &rep)
-		} else {
-			next, err = e.evalStep(step, cur, opts, &rep)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(sb, "step %d: %s\n", i+1, step)
-		fmt.Fprintf(sb, "  operator: %s\n", e.describeOperator(step, cur, opts, rep))
-		fmt.Fprintf(sb, "  cardinality: %d context -> %d result\n", len(cur), len(next))
-		if step.Axis.Partitioning() {
-			switch opts.Strategy {
-			case Staircase, StaircaseSkip, StaircaseNoSkip:
-				fmt.Fprintf(sb, "  properties: no duplicates, document order (no unique/sort needed)\n")
-				if rep.Core.ContextSize > 0 {
-					fmt.Fprintf(sb, "  pruning: %d -> %d staircase partitions\n",
-						rep.Core.ContextSize, rep.Core.PrunedSize)
-					fmt.Fprintf(sb, "  work: scanned %d (copied %d, compared %d), skipped %d\n",
-						rep.Core.Scanned, rep.Core.Copied, rep.Core.Compared, rep.Core.Skipped)
-					if rep.Core.Workers > 1 {
-						fmt.Fprintf(sb, "  parallel: %d workers over %d partitions (disjoint pre ranges, concat in document order)\n",
-							rep.Core.Workers, rep.Core.PrunedSize)
-					} else if req := opts.Parallelism; req > 1 || req < 0 {
-						if req < 0 {
-							req = runtime.GOMAXPROCS(0)
-						}
-						switch {
-						case rep.Pushed:
-							fmt.Fprintf(sb, "  parallel: n/a (name-test pushdown chose the serial fragment join)\n")
-						case req <= 1:
-							fmt.Fprintf(sb, "  parallel: n/a (GOMAXPROCS resolves to a single worker)\n")
-						case rep.Core.Workers == 1:
-							fmt.Fprintf(sb, "  parallel: single chunk (%d staircase partition(s) do not split further)\n",
-								rep.Core.PrunedSize)
-						default:
-							fmt.Fprintf(sb, "  parallel: declined by cost model (step below %d touched nodes per worker)\n",
-								int64(minParallelWork))
-						}
-					}
-				}
-			default:
-				fmt.Fprintf(sb, "  properties: may generate duplicates; plan appends unique over pre-sorted output\n")
-			}
-		}
-		if len(step.Preds) > 0 {
-			for _, pred := range step.Preds {
-				fmt.Fprintf(sb, "  predicate filter: [%s]\n", pred)
-			}
-		}
-		cur = next
+// ExplainJSON returns the executed plan tree in JSON form.
+func (e *Engine) ExplainJSON(query string, opts *Options) ([]byte, error) {
+	p, err := e.PrepareString(query, opts)
+	if err != nil {
+		return nil, err
 	}
-	return nil
-}
-
-// describeOperator names the physical operator of a step.
-func (e *Engine) describeOperator(step xpath.Step, context []int32, opts *Options, rep StepReport) string {
-	a := step.Axis
-	if !a.Partitioning() && a != axis.DescendantOrSelf && a != axis.AncestorOrSelf {
-		return fmt.Sprintf("positional %s lookup (parent/size columns)", a)
-	}
-	switch opts.Strategy {
-	case Naive:
-		return "per-context region queries + sort + unique (tree-unaware)"
-	case SQL:
-		return "B-tree indexed nested-loop semijoin (Figure 3 plan)"
-	case SQLWindow:
-		return "B-tree indexed semijoin + Equation(1) window delimiter (§2.1 line 7)"
-	}
-	variant := map[Strategy]string{
-		Staircase:       "estimation-based skipping (Algorithm 4)",
-		StaircaseSkip:   "skipping (Algorithm 3)",
-		StaircaseNoSkip: "basic scan (Algorithm 2)",
-	}[opts.Strategy]
-	desc := "staircase join, " + variant
-	if list, _, ok := e.pushdownList(step.Test, opts); ok {
-		base := a
-		if a == axis.DescendantOrSelf {
-			base = axis.Descendant
-		}
-		if a == axis.AncestorOrSelf {
-			base = axis.Ancestor
-		}
-		testName := step.Test.String()
-		full := e.estimateJoinTouches(base, context)
-		pushed := rep.Pushed || (base.Partitioning() && opts.Pushdown != PushNever &&
-			shouldPush(int64(len(list)), full, opts.Pushdown, parallelWorkersFor(opts, full)))
-		switch {
-		case pushed && !opts.NoIndex:
-			source := "shared tag/kind index"
-			if min, max, nonEmpty := index.Span(list); nonEmpty {
-				source += fmt.Sprintf(", pre span [%d..%d]", min, max)
-			}
-			desc += fmt.Sprintf("\n  pushdown: test %s pushed below join (fragment %d < full-join bound %d; %s)",
-				testName, len(list), full, source)
-		case pushed:
-			desc += fmt.Sprintf("\n  pushdown: test %s pushed below join (fragment %d < full-join bound %d; name-column scan, index disabled)",
-				testName, len(list), full)
-		case base.Partitioning():
-			desc += fmt.Sprintf("\n  pushdown: test %s applied after join (mode %s, fragment %d vs full-join bound %d)",
-				testName, opts.Pushdown, len(list), full)
-		}
-	}
-	return desc
+	return p.ExplainJSON()
 }

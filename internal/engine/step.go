@@ -1,3 +1,8 @@
+// FROZEN LEGACY COPY — the pre-plan step interpreter, kept verbatim
+// behind Options.LegacyEval as the oracle of the plan ≡ legacy
+// differential suite. The live evaluation machinery is
+// internal/plan/ops.go; do not evolve this file.
+
 package engine
 
 import (

@@ -1,0 +1,74 @@
+// Canonical plan strings. The canonical form identifies the result a
+// plan computes (together with the document): operator tree, axes,
+// node tests, predicates, strategy and pushdown policy. Execution
+// attributes that are property-tested to never change results —
+// parallel worker counts, index-vs-scan fragment sourcing — are
+// deliberately excluded, so the same canonical string covers a serial
+// indexed run and a parallel NoIndex run, and equivalent query texts
+// (`//a/b` and `/descendant-or-self::node()/child::a/child::b`,
+// `a[b and c]` and `a[b][c]`) canonicalise identically after the
+// logical rewrites.
+
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// buildCanon renders the canonical string of a compiled plan.
+func buildCanon(p *Plan) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "strategy=%s,push=%s;", p.opts.Strategy, p.opts.Pushdown)
+	canonOp(&sb, p.root)
+	return sb.String()
+}
+
+func canonOp(sb *strings.Builder, o op) {
+	switch t := o.(type) {
+	case *sourceOp:
+		if t.docRoot {
+			sb.WriteString("docroot")
+		} else {
+			sb.WriteString("context")
+		}
+	case *joinOp:
+		canonOp(sb, t.in)
+		fmt.Fprintf(sb, "/join(%s::%s", t.stepAxis(), t.test)
+		if t.docNode {
+			sb.WriteString(",docnode")
+		}
+		fmt.Fprintf(sb, ",variant=%s)", t.variant)
+	case *axisStepOp:
+		canonOp(sb, t.in)
+		fmt.Fprintf(sb, "/step(%s::%s", t.a, t.test)
+		if t.docNode {
+			sb.WriteString(",docnode")
+		}
+		sb.WriteString(")")
+	case *predFilterOp:
+		canonOp(sb, t.in)
+		fmt.Fprintf(sb, "/filter[%s]", t.pred)
+	case *semiJoinOp:
+		canonOp(sb, t.in)
+		fmt.Fprintf(sb, "/semijoin(%s::%s,variant=%s)", t.existsAxis, t.frag.test, t.variant)
+	case *posFilterOp:
+		canonOp(sb, t.in)
+		fmt.Fprintf(sb, "/pos(%s", t.step)
+		if t.docNode {
+			sb.WriteString(",docnode")
+		}
+		sb.WriteString(")")
+	case *mergeOp:
+		sb.WriteString("merge(")
+		for i, in := range t.ins {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			canonOp(sb, in)
+		}
+		sb.WriteString(")")
+	case *fragScan:
+		fmt.Fprintf(sb, "frag(%s)", t.test)
+	}
+}

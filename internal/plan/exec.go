@@ -1,0 +1,158 @@
+// Plan execution: the executor walks the operator tree, pulling node
+// sequences through the operators and recording per-operator and
+// per-step statistics for EXPLAIN and the engine's step reports.
+
+package plan
+
+import (
+	"sync"
+	"time"
+
+	"staircase/internal/axis"
+	"staircase/internal/baseline"
+	"staircase/internal/core"
+)
+
+// StepStats records per-location-step evaluation statistics,
+// aggregated over the operators implementing the step (axis operator
+// plus its filters).
+type StepStats struct {
+	// Step is the canonical rendering of the location step.
+	Step string
+	// Axis of the step.
+	Axis axis.Axis
+	// InputSize and OutputSize are the context and result sequence
+	// lengths (after predicates).
+	InputSize, OutputSize int
+	// Pushed reports whether the name/kind test was pushed below the
+	// join; Indexed reports whether the pushed fragment came from the
+	// document's shared tag/kind index (false: name-column scan).
+	Pushed, Indexed bool
+	// Core holds staircase join work counters (staircase strategies,
+	// partitioning axes only).
+	Core core.Stats
+	// Naive holds naive-strategy counters.
+	Naive baseline.NaiveStats
+	// Duration is the wall-clock time of the step.
+	Duration time.Duration
+}
+
+// opStat records per-operator execution facts for EXPLAIN.
+type opStat struct {
+	ran      bool
+	in, out  int
+	pushed   bool
+	indexed  bool
+	fragSize int
+	// bound is the cost model's full-join touch bound from the actual
+	// context; workersOffered the worker count the fan-out decision
+	// used.
+	bound          int64
+	workersOffered int
+}
+
+func (s *opStat) record(in, out int) {
+	s.ran = true
+	s.in = in
+	s.out = out
+}
+
+// execCtx is one execution of a plan.
+type execCtx struct {
+	env     *Env
+	opts    *Options
+	initial []int32
+	ops     []opStat
+	steps   []StepStats
+	// cur points at the opStat of the operator currently evaluating a
+	// partitioning axis, so the shared helpers can record the cost
+	// bounds and decisions they compute.
+	cur *opStat
+}
+
+// Result is the outcome of a plan execution.
+type Result struct {
+	// Nodes is the result sequence: pre ranks in document order,
+	// duplicate-free (XPath node-sequence semantics).
+	Nodes []int32
+	// Steps reports per-step statistics in evaluation order (union
+	// branches concatenate).
+	Steps []StepStats
+
+	ops []opStat // per-operator actuals, consumed by EXPLAIN
+}
+
+// Plan is a compiled physical plan, bound to one document (via its
+// Env) and one Options configuration. Plans are immutable after
+// Compile and safe for concurrent Run calls.
+type Plan struct {
+	env      *Env
+	opts     Options
+	logical  *Logical
+	root     op
+	ops      []op        // all operators, indexed by op id
+	metas    []*stepMeta // one per location step, in step order
+	rewrites []string    // logical + physical rewrites applied
+
+	canonOnce sync.Once
+	canon     string // built on first use (lazily: EvalString paths never need it)
+}
+
+// Options returns the configuration the plan was compiled with.
+func (p *Plan) Options() Options { return p.opts }
+
+// Rewrites lists the rewrite rules applied to this plan, in
+// application order.
+func (p *Plan) Rewrites() []string { return p.rewrites }
+
+// Query returns the source query text in canonical form.
+func (p *Plan) Query() string { return p.logical.Query.String() }
+
+// Logical returns the (rewritten) logical plan the physical plan was
+// compiled from.
+func (p *Plan) Logical() *Logical { return p.logical }
+
+// NumSteps returns the number of location steps across all union
+// branches.
+func (p *Plan) NumSteps() int { return len(p.metas) }
+
+// Canon returns the canonical string of the optimized plan. Two plans
+// with equal canonical strings produce identical result sequences on
+// the same document: the string covers the operator tree, axes, node
+// tests, predicates, strategy and pushdown policy, and deliberately
+// excludes the execution-time attributes that cannot change results
+// (parallel worker counts, index-vs-scan fragment source). The query
+// server keys its result cache on it, so equivalent query texts share
+// cache entries.
+func (p *Plan) Canon() string {
+	p.canonOnce.Do(func() { p.canon = buildCanon(p) })
+	return p.canon
+}
+
+// Run executes the plan. The initial context seeds relative union
+// branches (absolute branches always start at the document root);
+// pass the document root for the conventional whole-document query.
+func (p *Plan) Run(initial []int32) (*Result, error) {
+	ec := &execCtx{
+		env:     p.env,
+		opts:    &p.opts,
+		initial: initial,
+		ops:     make([]opStat, len(p.ops)),
+		steps:   make([]StepStats, len(p.metas)),
+	}
+	for i, m := range p.metas {
+		ec.steps[i].Step = m.display
+		ec.steps[i].Axis = m.axis
+	}
+	nodes, err := p.root.run(ec)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Nodes: nodes, Steps: ec.steps, ops: ec.ops}, nil
+}
+
+// RunRoot executes the plan with the document root as initial context
+// (the conventional whole-document evaluation).
+func (p *Plan) RunRoot() (*Result, error) {
+	return p.Run([]int32{p.env.Doc.Root()})
+}

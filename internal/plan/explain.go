@@ -1,0 +1,416 @@
+// EXPLAIN rendering: the optimized physical plan tree in text and JSON
+// form, annotated per operator with compile-time cardinality estimates
+// and — when a Result from an execution is supplied — the actual
+// cardinalities, pushdown decisions, fragment sources and staircase
+// work counters. The text form is the human surface of xpathq -explain
+// and the server's GET /explain; the JSON form is the machine surface
+// (GET /explain?format=json).
+
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// ExplainTree is the JSON form of an explained plan.
+type ExplainTree struct {
+	Query       string       `json:"query"`
+	Canon       string       `json:"canon"`
+	Strategy    string       `json:"strategy"`
+	Pushdown    string       `json:"pushdown"`
+	Parallelism int          `json:"parallelism,omitempty"`
+	NoIndex     bool         `json:"noIndex,omitempty"`
+	Rewrites    []string     `json:"rewrites,omitempty"`
+	Executed    bool         `json:"executed"`
+	ResultCount int          `json:"resultCount"`
+	Root        *ExplainNode `json:"root"`
+}
+
+// ExplainNode is one operator of the JSON plan tree.
+type ExplainNode struct {
+	Op       string `json:"op"`
+	Step     int    `json:"step,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+	Variant  string `json:"variant,omitempty"`
+	DocNode  bool   `json:"docNode,omitempty"`
+	EstIn    int64  `json:"estIn,omitempty"`
+	EstOut   int64  `json:"estOut,omitempty"`
+	Ran      bool   `json:"ran,omitempty"`
+	In       int    `json:"in,omitempty"`
+	Out      int    `json:"out,omitempty"`
+	Pushed   bool   `json:"pushed,omitempty"`
+	Indexed  bool   `json:"indexed,omitempty"`
+	Fragment int    `json:"fragment,omitempty"`
+	Bound    int64  `json:"bound,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	// Fragment-scan leaves: the fragment source and exact statistics.
+	Source string `json:"source,omitempty"` // "shared tag/kind index" or "name-column scan"
+	Count  int64  `json:"count,omitempty"`
+	Span   string `json:"span,omitempty"`
+	// Staircase work counters of the owning step (join operators).
+	Pruning  string         `json:"pruning,omitempty"`
+	Work     string         `json:"work,omitempty"`
+	Children []*ExplainNode `json:"children,omitempty"`
+}
+
+// ExplainJSON builds the JSON plan tree; res carries the actual
+// per-operator cardinalities of an execution and may be nil for a
+// compile-only explanation.
+func (p *Plan) ExplainJSON(res *Result) ([]byte, error) {
+	t := p.explainTree(res)
+	return json.MarshalIndent(t, "", "  ")
+}
+
+func (p *Plan) explainTree(res *Result) *ExplainTree {
+	t := &ExplainTree{
+		Query:       p.Query(),
+		Canon:       p.Canon(),
+		Strategy:    p.opts.Strategy.String(),
+		Pushdown:    p.opts.Pushdown.String(),
+		Parallelism: p.opts.Parallelism,
+		NoIndex:     p.opts.NoIndex,
+		Rewrites:    p.rewrites,
+		Root:        p.explainNode(p.root, res),
+	}
+	if res != nil {
+		t.Executed = true
+		t.ResultCount = len(res.Nodes)
+	}
+	return t
+}
+
+func (p *Plan) explainNode(o op, res *Result) *ExplainNode {
+	n := &ExplainNode{Op: opName(o, &p.opts)}
+	var ost *opStat
+	if res != nil {
+		ost = &res.ops[o.opID()]
+	}
+	switch t := o.(type) {
+	case *sourceOp:
+		if t.docRoot {
+			n.Detail = "document root"
+		} else {
+			n.Detail = "caller context"
+		}
+	case *joinOp:
+		n.Step = t.meta.ord
+		n.Detail = fmt.Sprintf("%s::%s", t.stepAxis(), t.test)
+		if p.opts.Strategy.staircase() {
+			n.Variant = t.variant.String()
+		}
+		n.DocNode = t.docNode
+		n.EstIn, n.EstOut = t.est.In, t.est.Out
+		if res != nil {
+			st := &res.Steps[t.meta.ord-1]
+			if st.Core.ContextSize > 0 {
+				n.Pruning = fmt.Sprintf("%d -> %d staircase partitions", st.Core.ContextSize, st.Core.PrunedSize)
+				n.Work = fmt.Sprintf("scanned %d (copied %d, compared %d), skipped %d",
+					st.Core.Scanned, st.Core.Copied, st.Core.Compared, st.Core.Skipped)
+			}
+			n.Workers = int(st.Core.Workers)
+		}
+	case *axisStepOp:
+		n.Step = t.meta.ord
+		n.Detail = fmt.Sprintf("%s::%s", t.a, t.test)
+		n.DocNode = t.docNode
+		n.EstIn, n.EstOut = t.est.In, t.est.Out
+	case *predFilterOp:
+		n.Step = t.meta.ord
+		n.Detail = fmt.Sprintf("[%s]", t.pred)
+		n.EstIn, n.EstOut = t.est.In, t.est.Out
+	case *semiJoinOp:
+		n.Step = t.meta.ord
+		n.Detail = fmt.Sprintf("[%s] on inverse axis %s", t.pred, t.inv)
+		n.Variant = t.variant.String()
+		n.EstIn, n.EstOut = t.est.In, t.est.Out
+	case *posFilterOp:
+		n.Step = t.meta.ord
+		n.Detail = t.step.String()
+		n.DocNode = t.docNode
+		n.EstIn, n.EstOut = t.est.In, t.est.Out
+	case *fragScan:
+		n.Detail = t.test.String()
+		n.Count = t.card
+		if p.opts.NoIndex {
+			n.Source = "name-column scan"
+		} else {
+			n.Source = "shared tag/kind index"
+		}
+		if t.hasSpan {
+			n.Span = fmt.Sprintf("[%d..%d]", t.spanLo, t.spanHi)
+		}
+	}
+	if ost != nil && ost.ran {
+		n.Ran = true
+		n.In, n.Out = ost.in, ost.out
+		n.Pushed, n.Indexed = ost.pushed, ost.indexed
+		if ost.fragSize > 0 {
+			n.Fragment = ost.fragSize
+		}
+		n.Bound = ost.bound
+	}
+	for _, kid := range o.kids() {
+		n.Children = append(n.Children, p.explainNode(kid, res))
+	}
+	return n
+}
+
+// opName names the physical operator, resolving the strategy aliases
+// of the join slot.
+func opName(o op, opts *Options) string {
+	switch t := o.(type) {
+	case *sourceOp:
+		return "Source"
+	case *joinOp:
+		switch opts.Strategy {
+		case Naive:
+			return "NaiveJoin"
+		case SQL, SQLWindow:
+			return "SQLJoin"
+		default:
+			return "StaircaseJoin"
+		}
+	case *axisStepOp:
+		return "AxisStep"
+	case *predFilterOp:
+		return "PredFilter"
+	case *semiJoinOp:
+		return "SemiJoin"
+	case *posFilterOp:
+		return "PosFilter"
+	case *mergeOp:
+		return "Merge"
+	case *fragScan:
+		if opts.NoIndex {
+			return "ColumnScan"
+		}
+		_ = t
+		return "IndexScan"
+	default:
+		return fmt.Sprintf("%T", o)
+	}
+}
+
+// ExplainText renders the optimized plan tree as indented text, root
+// operator first. res carries the actuals of an execution and may be
+// nil for a compile-only explanation.
+func (p *Plan) ExplainText(res *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query: %s\n", p.Query())
+	fmt.Fprintf(&sb, "plan: strategy=%s pushdown=%s", p.opts.Strategy, p.opts.Pushdown)
+	if p.opts.Parallelism != 0 {
+		fmt.Fprintf(&sb, " parallelism=%d", p.opts.Parallelism)
+	}
+	if p.opts.NoIndex {
+		sb.WriteString(" no-index")
+	}
+	sb.WriteString("\n")
+	if len(p.rewrites) > 0 {
+		fmt.Fprintf(&sb, "rewrites: %s\n", strings.Join(p.rewrites, ", "))
+	}
+	if m, ok := p.root.(*mergeOp); ok {
+		sb.WriteString("merge-union (document order preserved)\n")
+		for i, in := range m.ins {
+			fmt.Fprintf(&sb, "union branch %d: %s\n", i+1, p.logical.Query.Paths[i])
+			p.renderOp(&sb, in, res, 1)
+		}
+		return sb.String()
+	}
+	p.renderOp(&sb, p.root, res, 0)
+	return sb.String()
+}
+
+// renderOp prints one operator and recurses into its inputs.
+func (p *Plan) renderOp(sb *strings.Builder, o op, res *Result, depth int) {
+	pad := strings.Repeat("  ", depth)
+	line := func(format string, args ...any) {
+		sb.WriteString(pad)
+		fmt.Fprintf(sb, format, args...)
+		sb.WriteByte('\n')
+	}
+	var ost *opStat
+	if res != nil {
+		ost = &res.ops[o.opID()]
+	}
+	card := func(est estimates) {
+		if ost != nil && ost.ran {
+			line("  cardinality: %d context -> %d result (est %d)", ost.in, ost.out, est.Out)
+		} else {
+			line("  cardinality: est %d context -> est %d result", est.In, est.Out)
+		}
+	}
+	switch t := o.(type) {
+	case *sourceOp:
+		if t.docRoot {
+			line("Source (document root)")
+		} else {
+			line("Source (caller context)")
+		}
+	case *joinOp:
+		p.renderJoin(sb, t, res, ost, depth, line, card)
+	case *axisStepOp:
+		label := fmt.Sprintf("step %d: %s::%s", t.meta.ord, t.a, t.test)
+		if t.docNode {
+			label += ", document node"
+		}
+		line("AxisStep (%s)", label)
+		line("  operator: positional %s lookup (parent/size columns)", t.a)
+		card(t.est)
+	case *predFilterOp:
+		line("PredFilter (step %d)", t.meta.ord)
+		line("  predicate filter: [%s] (node at a time)", t.pred)
+		card(t.est)
+	case *semiJoinOp:
+		line("SemiJoin (step %d)", t.meta.ord)
+		line("  operator: staircase semijoin over the %s axis (exists-semijoin rewrite, set-at-a-time)", t.inv)
+		line("  predicate filter: [%s] evaluated as fragment semijoin", t.pred)
+		card(t.est)
+	case *posFilterOp:
+		label := fmt.Sprintf("step %d: %s", t.meta.ord, t.step)
+		if t.docNode {
+			label += ", document node"
+		}
+		line("PosFilter (%s)", label)
+		line("  operator: per-context-node step with proximity positions (reverse axes count backwards)")
+		card(t.est)
+	case *fragScan:
+		p.renderFrag(sb, t, depth, line)
+		return // leaves carry their detail on one block, no inputs
+	case *mergeOp:
+		line("Merge (union)")
+	}
+	for _, kid := range o.kids() {
+		p.renderOp(sb, kid, res, depth+1)
+	}
+}
+
+// renderJoin prints the join operator with its strategy, pushdown and
+// parallel annotations — the physical-plan counterpart of the paper's
+// Figure 3 plan analysis.
+func (p *Plan) renderJoin(sb *strings.Builder, t *joinOp, res *Result, ost *opStat, depth int,
+	line func(string, ...any), card func(estimates)) {
+	label := fmt.Sprintf("step %d: %s::%s", t.meta.ord, t.stepAxis(), t.test)
+	if t.docNode {
+		label += ", document node"
+	}
+	switch p.opts.Strategy {
+	case Naive:
+		line("NaiveJoin (%s)", label)
+		line("  operator: per-context region queries + sort + unique (tree-unaware)")
+		line("  properties: may generate duplicates; plan appends unique over pre-sorted output")
+		card(t.est)
+		return
+	case SQL:
+		line("SQLJoin (%s)", label)
+		line("  operator: B-tree indexed nested-loop semijoin (Figure 3 plan)")
+		line("  properties: may generate duplicates; plan appends unique over pre-sorted output")
+		card(t.est)
+		return
+	case SQLWindow:
+		line("SQLJoin (%s)", label)
+		line("  operator: B-tree indexed semijoin + Equation(1) window delimiter (§2.1 line 7)")
+		line("  properties: may generate duplicates; plan appends unique over pre-sorted output")
+		card(t.est)
+		return
+	}
+	variant := map[Strategy]string{
+		Staircase:       "estimation-based skipping (Algorithm 4)",
+		StaircaseSkip:   "skipping (Algorithm 3)",
+		StaircaseNoSkip: "basic scan (Algorithm 2)",
+	}[p.opts.Strategy]
+	line("StaircaseJoin (%s)", label)
+	line("  operator: staircase join, %s", variant)
+	line("  properties: no duplicates, document order (no unique/sort needed)")
+	card(t.est)
+	var st *StepStats
+	if res != nil {
+		st = &res.Steps[t.meta.ord-1]
+		if st.Core.ContextSize > 0 {
+			line("  pruning: %d -> %d staircase partitions", st.Core.ContextSize, st.Core.PrunedSize)
+			line("  work: scanned %d (copied %d, compared %d), skipped %d",
+				st.Core.Scanned, st.Core.Copied, st.Core.Compared, st.Core.Skipped)
+		}
+	}
+	p.renderPushdown(t, ost, line)
+	p.renderParallel(t, st, ost, line)
+}
+
+// renderPushdown prints the pushdown decision of a staircase join.
+func (p *Plan) renderPushdown(t *joinOp, ost *opStat, line func(string, ...any)) {
+	if !pushable(t.test) {
+		return
+	}
+	testName := t.test.String()
+	switch {
+	case ost == nil || !ost.ran:
+		if t.frag != nil {
+			line("  pushdown: candidate fragment scan attached (policy %s, decided at execution from the context bound)", p.opts.Pushdown)
+		} else {
+			line("  pushdown: disabled (mode %s)", p.opts.Pushdown)
+		}
+	case ost.pushed && !p.opts.NoIndex:
+		source := "shared tag/kind index"
+		if t.frag != nil && t.frag.hasSpan {
+			source += fmt.Sprintf(", pre span [%d..%d]", t.frag.spanLo, t.frag.spanHi)
+		}
+		line("  pushdown: test %s pushed below join (fragment %d < full-join bound %d; %s)",
+			testName, ost.fragSize, ost.bound, source)
+	case ost.pushed:
+		line("  pushdown: test %s pushed below join (fragment %d < full-join bound %d; name-column scan, index disabled)",
+			testName, ost.fragSize, ost.bound)
+	case p.opts.Pushdown == PushNever:
+		line("  pushdown: test %s applied after join (mode never)", testName)
+	default:
+		line("  pushdown: test %s applied after join (mode %s, fragment %d vs full-join bound %d)",
+			testName, p.opts.Pushdown, ost.fragSize, ost.bound)
+	}
+}
+
+// renderParallel prints the partition-parallel fan-out decision of a
+// staircase join, mirroring the executor's cost-model branches.
+func (p *Plan) renderParallel(t *joinOp, st *StepStats, ost *opStat, line func(string, ...any)) {
+	if st == nil || st.Core.ContextSize == 0 {
+		return
+	}
+	if st.Core.Workers > 1 {
+		line("  parallel: %d workers over %d partitions (disjoint pre ranges, concat in document order)",
+			st.Core.Workers, st.Core.PrunedSize)
+		return
+	}
+	req := p.opts.Parallelism
+	if req <= 1 && req >= 0 {
+		return
+	}
+	if req < 0 {
+		req = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case ost != nil && ost.pushed:
+		line("  parallel: n/a (name-test pushdown chose the serial fragment join)")
+	case req <= 1:
+		line("  parallel: n/a (GOMAXPROCS resolves to a single worker)")
+	case st.Core.Workers == 1:
+		line("  parallel: single chunk (%d staircase partition(s) do not split further)", st.Core.PrunedSize)
+	default:
+		line("  parallel: declined by cost model (step below %d touched nodes per worker)", int64(minParallelWork))
+	}
+}
+
+// renderFrag prints a fragment-scan leaf.
+func (p *Plan) renderFrag(sb *strings.Builder, t *fragScan, depth int, line func(string, ...any)) {
+	if p.opts.NoIndex {
+		line("ColumnScan (fragment %s; name-column scan, index disabled)", t.test)
+		return
+	}
+	detail := fmt.Sprintf("fragment %s", t.test)
+	if t.card >= 0 {
+		detail += fmt.Sprintf(": %d nodes", t.card)
+	}
+	if t.hasSpan {
+		detail += fmt.Sprintf(", pre span [%d..%d]", t.spanLo, t.spanHi)
+	}
+	line("IndexScan (%s; shared tag/kind index)", detail)
+}

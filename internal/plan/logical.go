@@ -1,0 +1,158 @@
+// Logical plan: the typed, document-independent form of a query. The
+// logical operators mirror the XPath algebra the engine evaluates —
+//
+//	DocRoot              initial context of an absolute path
+//	Context              caller-provided context of a relative path
+//	Step{axis, test}     one location step (axis + node test)
+//	Filter{pred}         a non-positional predicate over a node set
+//	Positional{step}     a whole step with position-sensitive
+//	                     predicates (evaluated context node at a time)
+//	Union                '|' of several paths
+//	Dedup                sort + duplicate elimination over a union
+//
+// BuildLogical produces the plan from a parsed query; Rewrite
+// (rewrite.go) then applies the algebraic rules. The String rendering
+// spells the operator tree; Canon is the stable doc-independent
+// canonical form used in cache keys.
+
+package plan
+
+import (
+	"strings"
+
+	"staircase/internal/axis"
+	"staircase/internal/xpath"
+)
+
+// Logical is the logical plan of one query: a union of step chains.
+type Logical struct {
+	// Query is the parsed source query.
+	Query xpath.Query
+	// Paths are the union branches, in source order.
+	Paths []LogicalPath
+	// Rewrites lists the rewrite rules applied, in application order
+	// (empty until Rewrite runs).
+	Rewrites []string
+}
+
+// LogicalPath is one union branch: a chain of steps rooted at DocRoot
+// (absolute) or Context (relative).
+type LogicalPath struct {
+	// Absolute paths start at the document root.
+	Absolute bool
+	// Steps is the location-step chain.
+	Steps []LogicalStep
+}
+
+// LogicalStep is one location step of a chain.
+type LogicalStep struct {
+	// Axis and Test select the nodes the step delivers.
+	Axis axis.Axis
+	Test xpath.NodeTest
+	// Preds are the step qualifiers, in source order.
+	Preds []xpath.Predicate
+	// First marks the first step of an absolute path: it receives
+	// document-node semantics when the document has a materialised
+	// root element (resolved against the document at compile time).
+	First bool
+	// display caches the canonical step rendering (filled once by
+	// Rewrite, after the rewrites settle, so per-document compilations
+	// don't re-render it).
+	display string
+}
+
+// displayString returns the canonical step rendering.
+func (s *LogicalStep) displayString() string {
+	if s.display == "" {
+		return s.step().String()
+	}
+	return s.display
+}
+
+// positional reports whether the step needs per-context-node
+// evaluation with proximity positions.
+func (s *LogicalStep) positional() bool { return hasPositional(s.Preds) }
+
+// hasPositional reports whether any predicate (also inside not(...),
+// and(...), or(...)) is position-sensitive.
+func hasPositional(preds []xpath.Predicate) bool {
+	for _, p := range preds {
+		switch q := p.(type) {
+		case xpath.Position, xpath.Last:
+			return true
+		case xpath.Not:
+			if hasPositional([]xpath.Predicate{q.Inner}) {
+				return true
+			}
+		case xpath.And:
+			if hasPositional(q.Preds) {
+				return true
+			}
+		case xpath.Or:
+			if hasPositional(q.Preds) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BuildLogical lowers a parsed query into its logical plan. The result
+// is document-independent and, after Rewrite, immutable — it can be
+// cached per query text and shared by concurrent compilations.
+func BuildLogical(q xpath.Query) *Logical {
+	l := &Logical{Query: q, Paths: make([]LogicalPath, 0, len(q.Paths))}
+	for _, p := range q.Paths {
+		lp := LogicalPath{Absolute: p.Absolute, Steps: make([]LogicalStep, 0, len(p.Steps))}
+		for i, s := range p.Steps {
+			lp.Steps = append(lp.Steps, LogicalStep{
+				Axis:  s.Axis,
+				Test:  s.Test,
+				Preds: s.Preds,
+				First: i == 0 && p.Absolute,
+			})
+		}
+		l.Paths = append(l.Paths, lp)
+	}
+	return l
+}
+
+// step returns the xpath.Step form (for rendering and positional
+// evaluation).
+func (s *LogicalStep) step() xpath.Step {
+	return xpath.Step{Axis: s.Axis, Test: s.Test, Preds: s.Preds}
+}
+
+// String renders the logical operator tree, innermost input first:
+//
+//	Dedup(Union(Filter(Step(DocRoot, descendant::person), [profile]), ...))
+func (l *Logical) String() string {
+	branches := make([]string, len(l.Paths))
+	for i, p := range l.Paths {
+		branches[i] = p.String()
+	}
+	if len(branches) == 1 {
+		return branches[0]
+	}
+	return "Dedup(Union(" + strings.Join(branches, ", ") + "))"
+}
+
+// String renders one union branch.
+func (p LogicalPath) String() string {
+	cur := "Context"
+	if p.Absolute {
+		cur = "DocRoot"
+	}
+	for i := range p.Steps {
+		s := &p.Steps[i]
+		if s.positional() {
+			cur = "Positional(" + cur + ", " + s.step().String() + ")"
+			continue
+		}
+		cur = "Step(" + cur + ", " + s.Axis.String() + "::" + s.Test.String() + ")"
+		for _, pred := range s.Preds {
+			cur = "Filter(" + cur + ", [" + pred.String() + "])"
+		}
+	}
+	return cur
+}

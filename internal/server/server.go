@@ -9,10 +9,13 @@
 // control collapses into catalog lookup. Three shared structures do the
 // rest:
 //
-//   - a compiled-query LRU, so the parser runs once per distinct query
-//     text rather than once per request;
-//   - a sharded LRU result cache keyed on (doc, generation, strategy,
-//     pushdown, query) — see docs/ARCHITECTURE.md for the key design;
+//   - a compiled-query LRU (parse + logical rewrite once per distinct
+//     query text) and a prepared-plan LRU (physical plan once per
+//     document generation × options × query);
+//   - a sharded LRU result cache keyed on (doc, generation, canonical
+//     optimized-plan string) — equivalent query texts compile to the
+//     same canonical plan and share one entry; see
+//     docs/ARCHITECTURE.md for the key design;
 //   - a weighted worker semaphore that both inter-query concurrency and
 //     intra-query partition parallelism (engine.Options.Parallelism)
 //     draw from, so a burst of wide parallel queries cannot oversubscribe
@@ -74,11 +77,31 @@ type Server struct {
 	compiled   map[string]*list.Element
 	compiledLL *list.List // front = most recent; values are *compiledEntry
 
+	preparedMu  sync.Mutex
+	prepared    map[string]*list.Element
+	preparedLL  *list.List        // front = most recent; values are *preparedEntry
+	preparedGen map[string]uint64 // latest generation seen per document
+	// preparedFast mirrors the prepared LRU for lock-free hits: the
+	// result-cache fast path sits behind prepare(), so a hit here must
+	// not serialise concurrent warm requests on preparedMu. Hits skip
+	// the LRU recency bump (recency is maintained by slow-path touches
+	// only — an approximation the 4096-entry budget tolerates).
+	preparedFast sync.Map // key -> *preparedEntry
+
 	queries     atomic.Int64
 	batches     atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	planHits    atomic.Int64
+	planMisses  atomic.Int64
 	errors      atomic.Int64
+}
+
+type preparedEntry struct {
+	key string
+	doc string
+	gen uint64
+	p   *engine.Prepared
 }
 
 type compiledEntry struct {
@@ -89,6 +112,11 @@ type compiledEntry struct {
 // maxCompiled bounds the compiled-query LRU; distinct query texts
 // beyond this evict the least recently used handle.
 const maxCompiled = 1024
+
+// maxPrepared bounds the prepared-plan LRU; distinct (document
+// generation, options, query) combinations beyond this evict the
+// least recently used plan.
+const maxPrepared = 4096
 
 // New returns a server over the catalog.
 func New(cfg Config) *Server {
@@ -103,13 +131,16 @@ func New(cfg Config) *Server {
 		cfg.MaxBatch = 256
 	}
 	return &Server{
-		cfg:        cfg,
-		cat:        cfg.Catalog,
-		cache:      newResultCache(cfg.CacheBytes),
-		pool:       newWsem(workers),
-		start:      time.Now(),
-		compiled:   make(map[string]*list.Element),
-		compiledLL: list.New(),
+		cfg:         cfg,
+		cat:         cfg.Catalog,
+		cache:       newResultCache(cfg.CacheBytes),
+		pool:        newWsem(workers),
+		start:       time.Now(),
+		compiled:    make(map[string]*list.Element),
+		compiledLL:  list.New(),
+		prepared:    make(map[string]*list.Element),
+		preparedLL:  list.New(),
+		preparedGen: make(map[string]uint64),
 	}
 }
 
@@ -235,13 +266,32 @@ func workerCost(opts *engine.Options) int {
 	return opts.Parallelism
 }
 
-// cacheKey builds the result-cache key. Document generation guards
-// against reload-after-eviction serving stale results; parallelism and
-// the NoIndex ablation knob are deliberately excluded (both are
-// property-tested to be byte-identical to the default evaluation).
-func cacheKey(docName string, gen uint64, opts *engine.Options, query string) string {
+// cacheKey builds the result-cache key from the canonical
+// optimized-plan string. Document generation guards against
+// reload-after-eviction serving stale results; the canonical plan
+// covers the operator tree, strategy and pushdown policy, and — by
+// construction — collapses equivalent query texts ("//a/b" vs its
+// unabbreviated spelling) onto one entry, while parallelism and the
+// NoIndex ablation knob stay excluded (both are property-tested to be
+// byte-identical to the default evaluation).
+func cacheKey(docName string, gen uint64, canon string) string {
 	var sb strings.Builder
-	sb.Grow(len(docName) + len(query) + 32)
+	sb.Grow(len(docName) + len(canon) + 24)
+	sb.WriteString(docName)
+	sb.WriteByte(0)
+	sb.WriteString(strconv.FormatUint(gen, 10))
+	sb.WriteByte(0)
+	sb.WriteString(canon)
+	return sb.String()
+}
+
+// preparedKey identifies a physical plan: document generation, full
+// options signature (parallelism and NoIndex change how a plan
+// executes, so prepared handles are per-knob even though results are
+// not), and the query text.
+func preparedKey(docName string, gen uint64, opts *engine.Options, query string) string {
+	var sb strings.Builder
+	sb.Grow(len(docName) + len(query) + 48)
 	sb.WriteString(docName)
 	sb.WriteByte(0)
 	sb.WriteString(strconv.FormatUint(gen, 10))
@@ -249,6 +299,11 @@ func cacheKey(docName string, gen uint64, opts *engine.Options, query string) st
 	sb.WriteString(opts.Strategy.String())
 	sb.WriteByte(0)
 	sb.WriteString(opts.Pushdown.String())
+	sb.WriteByte(0)
+	sb.WriteString(strconv.Itoa(opts.Parallelism))
+	if opts.NoIndex {
+		sb.WriteString(",noindex")
+	}
 	sb.WriteByte(0)
 	sb.WriteString(query)
 	return sb.String()
@@ -285,12 +340,94 @@ func (s *Server) compile(query string) (*engine.Compiled, error) {
 	return c, nil
 }
 
-// evalOne answers a single query of a batch: result cache, then
-// compile + evaluate under the worker budget.
+// prepare returns the physical plan for (document, options, query),
+// LRU-cached per document generation: parse and logical rewrite come
+// from the compiled-query cache, the optimizer runs once per
+// generation × options × text.
+func (s *Server) prepare(h *catalog.Handle, query string, opts *engine.Options) (*engine.Prepared, error) {
+	key := preparedKey(h.Name(), h.Generation(), opts, query)
+	if v, ok := s.preparedFast.Load(key); ok {
+		// The key embeds the generation, so a fast hit can never serve
+		// a stale document copy.
+		s.planHits.Add(1)
+		return v.(*preparedEntry).p, nil
+	}
+	s.preparedMu.Lock()
+	s.dropStalePlansLocked(h.Name(), h.Generation())
+	if el, ok := s.prepared[key]; ok {
+		s.preparedLL.MoveToFront(el)
+		p := el.Value.(*preparedEntry).p
+		s.preparedMu.Unlock()
+		s.planHits.Add(1)
+		return p, nil
+	}
+	s.preparedMu.Unlock()
+	s.planMisses.Add(1)
+
+	c, err := s.compile(query)
+	if err != nil {
+		return nil, err
+	}
+	p, err := h.Engine().Prepare(c, opts) // optimize outside the lock
+	if err != nil {
+		return nil, err
+	}
+
+	s.preparedMu.Lock()
+	defer s.preparedMu.Unlock()
+	if el, ok := s.prepared[key]; ok { // raced: keep the first
+		s.preparedLL.MoveToFront(el)
+		return el.Value.(*preparedEntry).p, nil
+	}
+	entry := &preparedEntry{key: key, doc: h.Name(), gen: h.Generation(), p: p}
+	s.prepared[key] = s.preparedLL.PushFront(entry)
+	s.preparedFast.Store(key, entry)
+	for len(s.prepared) > maxPrepared {
+		el := s.preparedLL.Back()
+		e := s.preparedLL.Remove(el).(*preparedEntry)
+		delete(s.prepared, e.key)
+		s.preparedFast.Delete(e.key)
+	}
+	return p, nil
+}
+
+// dropStalePlansLocked evicts every cached plan of a document whose
+// generation is older than the one now resident. A prepared plan
+// holds its document (encoding + index) alive, so without this a
+// catalog reload would leave up to maxPrepared stale plans pinning
+// the previous copy in memory alongside the new one. (Plans of a
+// document that was evicted and never reopened age out of the LRU
+// normally; until then they pin that document — the prepared cache
+// trades that bounded residency for not re-optimizing on every
+// request.)
+func (s *Server) dropStalePlansLocked(doc string, gen uint64) {
+	if s.preparedGen[doc] == gen {
+		return
+	}
+	s.preparedGen[doc] = gen
+	for el := s.preparedLL.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*preparedEntry); e.doc == doc && e.gen != gen {
+			s.preparedLL.Remove(el)
+			delete(s.prepared, e.key)
+			s.preparedFast.Delete(e.key)
+		}
+		el = next
+	}
+}
+
+// evalOne answers a single query of a batch: prepare (plan caches),
+// result cache on the canonical plan, then execute under the worker
+// budget.
 func (s *Server) evalOne(h *catalog.Handle, query string, opts *engine.Options, noCache bool) QueryResult {
 	start := time.Now()
 	res := QueryResult{Query: query}
-	key := cacheKey(h.Name(), h.Generation(), opts, query)
+	p, err := s.prepare(h, query, opts)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	key := cacheKey(h.Name(), h.Generation(), p.Canon())
 	if !noCache {
 		if nodes, ok := s.cache.Get(key); ok {
 			s.cacheHits.Add(1)
@@ -302,13 +439,8 @@ func (s *Server) evalOne(h *catalog.Handle, query string, opts *engine.Options, 
 		}
 		s.cacheMisses.Add(1)
 	}
-	c, err := s.compile(query)
-	if err != nil {
-		res.Error = err.Error()
-		return res
-	}
 	cost := s.pool.acquire(workerCost(opts))
-	r, err := h.Engine().EvalCompiled(c, opts)
+	r, err := p.Run()
 	s.pool.release(cost)
 	elapsed := time.Since(start)
 	h.RecordQuery(elapsed)
@@ -430,7 +562,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer h.Close()
-	out, err := h.Engine().Explain(query, opts)
+	p, err := s.prepare(h, query, opts)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Explain executes the plan, so it holds worker-budget units just
+	// like POST /query — explain traffic cannot oversubscribe the
+	// machine either.
+	cost := s.pool.acquire(workerCost(opts))
+	defer s.pool.release(cost)
+	if q.Get("format") == "json" {
+		out, err := p.ExplainJSON()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out)
+		return
+	}
+	out, err := p.Explain()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -460,6 +612,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit("cache_misses_total", s.cacheMisses.Load())
 	emit("cache_entries", int64(s.cache.Len()))
 	emit("cache_bytes", s.cache.Bytes())
+	emit("plan_cache_hits_total", s.planHits.Load())
+	emit("plan_cache_misses_total", s.planMisses.Load())
+	s.preparedMu.Lock()
+	emit("plan_cache_entries", int64(len(s.prepared)))
+	s.preparedMu.Unlock()
 	emit("errors_total", s.errors.Load())
 	emit("workers_in_use", int64(s.pool.inUse()))
 	emit("workers_capacity", int64(s.pool.cap))
@@ -471,6 +628,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // CacheStats reports result-cache hit/miss counters (tests, benchmarks).
 func (s *Server) CacheStats() (hits, misses int64) {
 	return s.cacheHits.Load(), s.cacheMisses.Load()
+}
+
+// PlanCacheStats reports prepared-plan cache hit/miss counters (tests,
+// benchmarks).
+func (s *Server) PlanCacheStats() (hits, misses int64) {
+	return s.planHits.Load(), s.planMisses.Load()
 }
 
 // openStatus maps a catalog.Open error to an HTTP status: unknown

@@ -406,8 +406,13 @@ func TestWarmCacheThroughput(t *testing.T) {
 	coldQPS := float64(coldRounds*len(queries)) / cold.Seconds()
 	warmQPS := float64(warmRounds*len(queries)) / warm.Seconds()
 	t.Logf("cold %.0f q/s, warm %.0f q/s (%.1fx)", coldQPS, warmQPS, warmQPS/coldQPS)
-	if warmQPS < 5*coldQPS {
-		t.Fatalf("warm cache %.0f q/s < 5x cold %.0f q/s", warmQPS, coldQPS)
+	// The bar was 5x when "cold" rounds re-planned every request; the
+	// prepared-plan cache now serves cold (result-cache-bypassing)
+	// rounds their compiled plans, so cold throughput rose and the
+	// result cache's *additional* win over cached-plan evaluation is
+	// what remains. 3x holds comfortably with the race detector on.
+	if warmQPS < 3*coldQPS {
+		t.Fatalf("warm cache %.0f q/s < 3x cold %.0f q/s", warmQPS, coldQPS)
 	}
 	if hits, _ := s.CacheStats(); hits == 0 {
 		t.Fatal("warm rounds recorded no cache hits")
@@ -527,6 +532,166 @@ func TestQueryNoIndexMatchesDefault(t *testing.T) {
 			if out.Results[0].Count != len(want.Nodes) {
 				t.Fatalf("%s noIndex=%v: %d nodes, want %d", q, noIndex, out.Results[0].Count, len(want.Nodes))
 			}
+		}
+	}
+}
+
+// TestEquivalentQueriesShareCacheEntries: the result cache keys on the
+// canonical optimized-plan string, so differently spelled but
+// plan-equivalent queries must hit one shared entry, while the
+// prepared-plan cache stays per query text.
+func TestEquivalentQueriesShareCacheEntries(t *testing.T) {
+	s, ts, ref := newTestServer(t, 1<<20)
+	defer ts.Close()
+
+	post := func(query string) QueryResult {
+		body, _ := json.Marshal(QueryRequest{Doc: "mem", Query: query})
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Results) != 1 || out.Results[0].Error != "" {
+			t.Fatalf("%s: %+v", query, out.Results)
+		}
+		return out.Results[0]
+	}
+
+	// Three spellings of one plan: the abbreviation, its expansion,
+	// and the predicate-conjunction split.
+	groups := [][]string{
+		{"//person/profile", "/descendant-or-self::node()/child::person/child::profile"},
+		{"//person[profile and name]", "//person[profile][name]"},
+	}
+	for _, group := range groups {
+		h0, _ := s.CacheStats()
+		first := post(group[0])
+		if first.Cached {
+			t.Fatalf("%s: first evaluation already cached", group[0])
+		}
+		for _, alt := range group[1:] {
+			res := post(alt)
+			if !res.Cached {
+				t.Fatalf("%s did not hit the cache entry of %s", alt, group[0])
+			}
+			if res.Count != first.Count {
+				t.Fatalf("%s: %d nodes, want %d", alt, res.Count, first.Count)
+			}
+		}
+		h1, _ := s.CacheStats()
+		if h1-h0 != int64(len(group)-1) {
+			t.Fatalf("cache hits %d, want %d", h1-h0, len(group)-1)
+		}
+		// Equivalence is real: the reference engine agrees.
+		want, err := ref["mem"].EvalString(group[0], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Count != len(want.Nodes) {
+			t.Fatalf("server %d nodes, engine %d", first.Count, len(want.Nodes))
+		}
+	}
+
+	// Distinct semantics must NOT collide: //site excludes the root
+	// element, /descendant::site includes it.
+	a := post("//site")
+	b := post("/descendant::site")
+	if b.Cached {
+		t.Fatal("/descendant::site wrongly shared a cache entry with //site")
+	}
+	if a.Count == b.Count {
+		t.Fatalf("expected distinct results, both %d", a.Count)
+	}
+
+	// The prepared-plan cache serves repeats of the same text.
+	ph0, _ := s.PlanCacheStats()
+	post("//person/profile")
+	ph1, _ := s.PlanCacheStats()
+	if ph1 <= ph0 {
+		t.Fatal("repeat query did not hit the prepared-plan cache")
+	}
+}
+
+// TestExplainJSONFormat: GET /explain?format=json returns the plan
+// tree with operators and canonical string.
+func TestExplainJSONFormat(t *testing.T) {
+	_, ts, _ := newTestServer(t, 1<<20)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/explain?doc=mem&format=json&q=%2Fdescendant%3A%3Aincrease%2Fancestor%3A%3Abidder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("explain json: %d %s", resp.StatusCode, b)
+	}
+	var tree struct {
+		Canon    string `json:"canon"`
+		Strategy string `json:"strategy"`
+		Root     *struct {
+			Op       string          `json:"op"`
+			Children json.RawMessage `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tree); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Canon == "" || tree.Strategy != "staircase" || tree.Root == nil || tree.Root.Op == "" {
+		t.Fatalf("explain json incomplete: %+v", tree)
+	}
+}
+
+// TestStalePreparedPlansDropOnReload: a document reload (generation
+// bump) must evict the previous generation's cached plans — they pin
+// the old document copy in memory.
+func TestStalePreparedPlansDropOnReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xmark.Write(f, xmark.Config{SizeMB: 0.05, Seed: 3, KeepValues: true}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	cat := catalog.New(1) // 1-byte budget: every unreferenced doc evicts
+	if err := cat.Register("d", path, catalog.FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Catalog: cat, CacheBytes: 1 << 20})
+
+	query := func() uint64 {
+		h, err := cat.Open("d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		gen := h.Generation()
+		for _, q := range []string{"//person", "//bidder", "//increase"} {
+			if _, err := s.prepare(h, q, &engine.Options{Parallelism: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return gen
+	}
+	g1 := query()
+	g2 := query() // budget forced an eviction in between: generation bumped
+	if g2 == g1 {
+		t.Fatalf("expected a reload, generations %d == %d", g1, g2)
+	}
+	s.preparedMu.Lock()
+	defer s.preparedMu.Unlock()
+	if n := len(s.prepared); n != 3 {
+		t.Fatalf("prepared cache holds %d entries, want 3 (stale generation dropped)", n)
+	}
+	for _, el := range s.prepared {
+		if e := el.Value.(*preparedEntry); e.gen != g2 {
+			t.Fatalf("stale plan survived: %s gen %d (current %d)", e.key, e.gen, g2)
 		}
 	}
 }

@@ -10,6 +10,8 @@ import (
 )
 
 // Parse parses a single XPath location path (no top-level union).
+// Diagnostics carry the byte offset of the offending token, e.g.
+// "xpath: offset 12: trailing input at "]"".
 func Parse(input string) (Path, error) {
 	p := &parser{lex: newLexer(input)}
 	path, err := p.parsePath()
@@ -17,15 +19,16 @@ func Parse(input string) (Path, error) {
 		return Path{}, err
 	}
 	if t := p.lex.peek(); t.kind != tokEOF {
-		return Path{}, fmt.Errorf("xpath: trailing input at %q", t.text)
+		return Path{}, fmt.Errorf("xpath: offset %d: trailing input at %q", t.off, t.text)
 	} else if t.text != "" {
-		return Path{}, fmt.Errorf("xpath: %s", t.text)
+		return Path{}, fmt.Errorf("xpath: offset %d: %s", t.off, t.text)
 	}
 	return path, nil
 }
 
 // ParseQuery parses a top-level expression: one or more location paths
-// combined with the '|' union operator.
+// combined with the '|' union operator. Like Parse, diagnostics carry
+// the byte offset of the offending token.
 func ParseQuery(input string) (Query, error) {
 	p := &parser{lex: newLexer(input)}
 	var q Query
@@ -40,11 +43,11 @@ func ParseQuery(input string) (Query, error) {
 			p.lex.next()
 		case tokEOF:
 			if t.text != "" {
-				return Query{}, fmt.Errorf("xpath: %s", t.text)
+				return Query{}, fmt.Errorf("xpath: offset %d: %s", t.off, t.text)
 			}
 			return q, nil
 		default:
-			return Query{}, fmt.Errorf("xpath: trailing input at %q", t.text)
+			return Query{}, fmt.Errorf("xpath: offset %d: trailing input at %q", t.off, t.text)
 		}
 	}
 }
@@ -86,6 +89,7 @@ const (
 type token struct {
 	kind tokKind
 	text string
+	off  int // byte offset of the token's first character in the input
 }
 
 type lexer struct {
@@ -123,63 +127,64 @@ func (l *lexer) scan() token {
 	for l.pos < len(l.input) && (l.input[l.pos] == ' ' || l.input[l.pos] == '\t' || l.input[l.pos] == '\n') {
 		l.pos++
 	}
+	start := l.pos
 	if l.pos >= len(l.input) {
-		return token{kind: tokEOF}
+		return token{kind: tokEOF, off: start}
 	}
 	c := l.input[l.pos]
 	switch c {
 	case '/':
 		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '/' {
 			l.pos += 2
-			return token{kind: tokDSlash, text: "//"}
+			return token{kind: tokDSlash, text: "//", off: start}
 		}
 		l.pos++
-		return token{kind: tokSlash, text: "/"}
+		return token{kind: tokSlash, text: "/", off: start}
 	case '@':
 		l.pos++
-		return token{kind: tokAt, text: "@"}
+		return token{kind: tokAt, text: "@", off: start}
 	case '*':
 		l.pos++
-		return token{kind: tokStar, text: "*"}
+		return token{kind: tokStar, text: "*", off: start}
 	case '(':
 		l.pos++
-		return token{kind: tokLParen, text: "("}
+		return token{kind: tokLParen, text: "(", off: start}
 	case ')':
 		l.pos++
-		return token{kind: tokRParen, text: ")"}
+		return token{kind: tokRParen, text: ")", off: start}
 	case '[':
 		l.pos++
-		return token{kind: tokLBrack, text: "["}
+		return token{kind: tokLBrack, text: "[", off: start}
 	case ']':
 		l.pos++
-		return token{kind: tokRBrack, text: "]"}
+		return token{kind: tokRBrack, text: "]", off: start}
 	case '|':
 		l.pos++
-		return token{kind: tokPipe, text: "|"}
+		return token{kind: tokPipe, text: "|", off: start}
 	case '=':
 		l.pos++
-		return token{kind: tokEq, text: "="}
+		return token{kind: tokEq, text: "=", off: start}
 	case '!':
 		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
 			l.pos += 2
-			return token{kind: tokNe, text: "!="}
+			return token{kind: tokNe, text: "!=", off: start}
 		}
 		l.pos++
-		return token{kind: tokEOF, text: "!"} // lone '!' surfaces as parse error
+		return token{kind: tokEOF, text: "!", off: start} // lone '!' surfaces as parse error
 	case ':':
 		if l.pos+1 < len(l.input) && l.input[l.pos+1] == ':' {
 			l.pos += 2
-			return token{kind: tokAxisSep, text: "::"}
+			return token{kind: tokAxisSep, text: "::", off: start}
 		}
 		l.pos++
-		return token{kind: tokEOF, text: ":"}
+		return token{kind: tokEOF, text: ":", off: start}
 	case '.':
 		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '.' {
 			l.pos += 2
-			return token{kind: tokDotDot, text: ".."}
+			return token{kind: tokDotDot, text: "..", off: start}
 		}
 		l.pos++
-		return token{kind: tokDot, text: "."}
+		return token{kind: tokDot, text: ".", off: start}
 	case '\'', '"':
 		quote := c
 		end := l.pos + 1
@@ -187,18 +192,18 @@ func (l *lexer) scan() token {
 			end++
 		}
 		if end >= len(l.input) {
-			return token{kind: tokEOF, text: "unterminated string"}
+			return token{kind: tokEOF, text: "unterminated string", off: start}
 		}
 		s := l.input[l.pos+1 : end]
 		l.pos = end + 1
-		return token{kind: tokString, text: s}
+		return token{kind: tokString, text: s, off: start}
 	}
 	if c >= '0' && c <= '9' {
 		end := l.pos
 		for end < len(l.input) && l.input[end] >= '0' && l.input[end] <= '9' {
 			end++
 		}
-		t := token{kind: tokNumber, text: l.input[l.pos:end]}
+		t := token{kind: tokNumber, text: l.input[l.pos:end], off: start}
 		l.pos = end
 		return t
 	}
@@ -207,13 +212,13 @@ func (l *lexer) scan() token {
 		for end < len(l.input) && isNameChar(l.input[end]) {
 			end++
 		}
-		t := token{kind: tokName, text: l.input[l.pos:end]}
+		t := token{kind: tokName, text: l.input[l.pos:end], off: start}
 		l.pos = end
 		return t
 	}
 	bad := string(c)
 	l.pos++
-	return token{kind: tokEOF, text: "unexpected character " + bad}
+	return token{kind: tokEOF, text: "unexpected character " + bad, off: start}
 }
 
 // --- parser ----------------------------------------------------------------
@@ -222,8 +227,15 @@ type parser struct {
 	lex *lexer
 }
 
+// errf builds a diagnostic anchored at the byte offset of the token
+// the parser is currently looking at.
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("xpath: "+format, args...)
+	return p.errAt(p.lex.peek().off, format, args...)
+}
+
+// errAt builds a diagnostic anchored at an explicit byte offset.
+func (p *parser) errAt(off int, format string, args ...any) error {
+	return fmt.Errorf("xpath: offset %d: "+format, append([]any{off}, args...)...)
 }
 
 // parsePath parses an (absolute or relative) location path.
@@ -288,7 +300,7 @@ func (p *parser) parseStep() (Step, error) {
 			p.lex.next()
 			a, err := axis.Parse(name)
 			if err != nil {
-				return Step{}, err
+				return Step{}, p.errAt(tok.off, "unknown axis %q", name)
 			}
 			test, err := p.parseNodeTest()
 			if err != nil {
@@ -423,7 +435,7 @@ func (p *parser) parsePredTerm() (Predicate, error) {
 		p.lex.next()
 		n, err := strconv.Atoi(tok.text)
 		if err != nil || n < 1 {
-			return nil, p.errf("bad position %q", tok.text)
+			return nil, p.errAt(tok.off, "bad position %q", tok.text)
 		}
 		return Position{N: n}, nil
 	case tokName:
@@ -444,11 +456,11 @@ func (p *parser) parsePredTerm() (Predicate, error) {
 				p.lex.next()
 				num := p.lex.next()
 				if num.kind != tokNumber {
-					return nil, p.errf("expected number after position()=")
+					return nil, p.errAt(num.off, "expected number after position()=")
 				}
 				n, err := strconv.Atoi(num.text)
 				if err != nil || n < 1 {
-					return nil, p.errf("bad position %q", num.text)
+					return nil, p.errAt(num.off, "bad position %q", num.text)
 				}
 				return Position{N: n}, nil
 			}
@@ -497,7 +509,10 @@ func (p *parser) parsePredTerm() (Predicate, error) {
 		}
 		lit := p.lex.next()
 		if lit.kind != tokString {
-			return nil, p.errf("expected string literal after comparison, got %q", lit.text)
+			if lit.kind == tokEOF && lit.text != "" {
+				return nil, p.errAt(lit.off, "%s", lit.text) // lexer diagnostic, e.g. unterminated string
+			}
+			return nil, p.errAt(lit.off, "expected string literal after comparison, got %q", lit.text)
 		}
 		return Compare{Path: path, Op: op, Literal: lit.text}, nil
 	default:

@@ -399,3 +399,41 @@ func TestNormalizeSpace(t *testing.T) {
 		t.Fatal("NormalizeSpace broken")
 	}
 }
+
+// TestParseErrorOffsets pins the byte offsets reported in parser
+// diagnostics: every error names the position of the offending token,
+// including the trailing-input errors that used to lose it.
+func TestParseErrorOffsets(t *testing.T) {
+	cases := []struct {
+		input string
+		want  string
+	}{
+		{"a b", `xpath: offset 2: trailing input at "b"`},
+		{"a//", `xpath: offset 3: expected location step, got ""`},
+		{"a[", `xpath: offset 2: expected location step, got ""`},
+		{"a]b", `xpath: offset 1: trailing input at "]"`},
+		{"//[2]", `xpath: offset 2: expected location step, got "["`},
+		{"foo::bar", `xpath: offset 0: unknown axis "foo"`},
+		{"a/foo::bar", `xpath: offset 2: unknown axis "foo"`},
+		{"a[b='unterminated]", `xpath: offset 4: unterminated string`},
+		{"ab[position()=0]", `xpath: offset 14: bad position "0"`},
+		{"a[not(b]", `xpath: offset 7: expected ')' after not(...`},
+		{"a[b=]", `xpath: offset 4: expected string literal after comparison, got "]"`},
+		{"a$", `xpath: offset 1: unexpected character $`},
+		{"a::node()", `xpath: offset 0: unknown axis "a"`},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.input)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want %q", tc.input, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("Parse(%q):\n got %q\nwant %q", tc.input, err.Error(), tc.want)
+		}
+	}
+	// ParseQuery reports union-level trailing input with its offset too.
+	if _, err := ParseQuery("a | b )"); err == nil || err.Error() != `xpath: offset 6: trailing input at ")"` {
+		t.Errorf("ParseQuery trailing input: got %v", err)
+	}
+}

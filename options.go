@@ -1,0 +1,86 @@
+package staircase
+
+import (
+	"staircase/internal/doc"
+	"staircase/internal/engine"
+)
+
+// Options configures query planning and execution. The zero value (or
+// a nil *Options) is the paper default: full staircase join with
+// automatic name-test pushdown, serial execution, shared tag/kind
+// index enabled.
+type Options = engine.Options
+
+// Strategy selects the axis-step algorithm for the four partitioning
+// axes — the paper's comparison matrix.
+type Strategy = engine.Strategy
+
+const (
+	// Staircase is the paper's full configuration: staircase join with
+	// estimation-based skipping (Algorithm 4).
+	Staircase = engine.Staircase
+	// StaircaseSkip uses plain skipping (Algorithm 3).
+	StaircaseSkip = engine.StaircaseSkip
+	// StaircaseNoSkip uses the basic partitioned scan (Algorithm 2).
+	StaircaseNoSkip = engine.StaircaseNoSkip
+	// NaiveStrategy evaluates one region query per context node and
+	// deduplicates afterwards (Experiment 1's strawman).
+	NaiveStrategy = engine.Naive
+	// SQLStrategy mimics the tree-unaware indexed plan of Figure 3.
+	SQLStrategy = engine.SQL
+	// SQLWindowStrategy is SQLStrategy plus the Equation (1) window
+	// predicate (§2.1).
+	SQLWindowStrategy = engine.SQLWindow
+)
+
+// PushdownMode controls name/kind-test pushdown for staircase
+// strategies.
+type PushdownMode = engine.Pushdown
+
+const (
+	// PushAuto decides by tag selectivity (the cost model).
+	PushAuto = engine.PushAuto
+	// PushAlways forces pushdown whenever the test is servable.
+	PushAlways = engine.PushAlways
+	// PushNever evaluates the join first and filters afterwards.
+	PushNever = engine.PushNever
+)
+
+// AutoParallelism requests one staircase-join worker per available CPU
+// when assigned to Options.Parallelism.
+const AutoParallelism = engine.AutoParallelism
+
+// Result is the outcome of a query: the node sequence (preorder
+// ranks, document order, duplicate-free) plus per-step statistics.
+type Result = engine.Result
+
+// StepReport carries the per-location-step statistics of a Result:
+// cardinalities, the pushdown decision, and the staircase join work
+// counters.
+type StepReport = engine.StepReport
+
+// NodeKind classifies document nodes (element, attribute, text,
+// comment, processing instruction).
+type NodeKind = doc.Kind
+
+const (
+	// ElemNode is an element node.
+	ElemNode = doc.Elem
+	// AttrNode is an attribute node.
+	AttrNode = doc.Attr
+	// TextNode is a text node.
+	TextNode = doc.Text
+	// CommentNode is a comment node.
+	CommentNode = doc.Comment
+	// PINode is a processing-instruction node.
+	PINode = doc.PI
+	// VRootNode is the virtual root of a document collection.
+	VRootNode = doc.VRoot
+)
+
+// NoParent is the Parent value of the root node.
+const NoParent = doc.NoParent
+
+// DocStats summarises document structure (node counts per kind,
+// height, fanout, tag histogram).
+type DocStats = doc.Stats

@@ -1,0 +1,118 @@
+package staircase
+
+import (
+	"io"
+	"net/http"
+
+	"staircase/internal/catalog"
+	"staircase/internal/server"
+	"staircase/internal/xmark"
+)
+
+// GenerateXMark generates an XMark-style auction document of
+// approximately sizeMB megabytes (the paper evaluation's workload;
+// the same seed always produces the same document).
+func GenerateXMark(sizeMB float64, seed int64) (*Document, error) {
+	d, err := xmark.Generate(xmark.Config{SizeMB: sizeMB, Seed: seed, KeepValues: true})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(d), nil
+}
+
+// WriteXMark writes the XML text of an XMark-style auction document
+// without materialising it (cmd/xmlgen's streaming path).
+func WriteXMark(w io.Writer, sizeMB float64, seed int64) error {
+	return xmark.Write(w, xmark.Config{SizeMB: sizeMB, Seed: seed, KeepValues: true})
+}
+
+// Catalog is a named collection of document sources with lazy loading
+// and bounded residency — the storage layer of the query server. Safe
+// for concurrent use.
+type Catalog struct {
+	c *catalog.Catalog
+}
+
+// CatalogOption configures a Catalog.
+type CatalogOption func(*catalogConfig)
+
+type catalogConfig struct {
+	inner []catalog.Option
+}
+
+// WithoutIndex disables eager tag/kind index residency on load (the
+// ablation/operations knob behind xpathd -index=false).
+func WithoutIndex() CatalogOption {
+	return func(c *catalogConfig) { c.inner = append(c.inner, catalog.WithoutIndex()) }
+}
+
+// NewCatalog returns an empty catalog. maxBytes bounds the total
+// resident bytes of loaded documents (0 = unbounded); entries beyond
+// the budget are evicted least-recently-used once unreferenced.
+func NewCatalog(maxBytes int64, opts ...CatalogOption) *Catalog {
+	var cfg catalogConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Catalog{c: catalog.New(maxBytes, cfg.inner...)}
+}
+
+// Register adds a named document source without loading it; the
+// format (XML text or SCJ binary) is sniffed on first load.
+func (c *Catalog) Register(name, path string) error {
+	return c.c.Register(name, path, catalog.FormatAuto)
+}
+
+// Add registers an already-loaded document under a name. Such entries
+// have no on-disk source, so they are pinned: never evicted.
+func (c *Catalog) Add(name string, d *Document) error {
+	return c.c.AddDocument(name, d.d)
+}
+
+// Names returns the registered document names, sorted.
+func (c *Catalog) Names() []string { return c.c.Names() }
+
+// ServerConfig configures a query Server.
+type ServerConfig struct {
+	// Catalog provides the named documents. Required.
+	Catalog *Catalog
+	// CacheBytes is the result-cache budget in bytes; <= 0 disables
+	// the cache. The cache is keyed on the canonical optimized-plan
+	// string, so equivalent query spellings share entries.
+	CacheBytes int64
+	// Workers is the shared worker budget for query evaluation; <= 0
+	// defaults to GOMAXPROCS.
+	Workers int
+	// DefaultParallelism is the engine parallelism applied when a
+	// request does not set one (0 = serial, AutoParallelism = all
+	// cores, clamped by the worker budget).
+	DefaultParallelism int
+	// NoIndex disables the shared tag/kind index by default
+	// (per-query column rescans; results identical — ablation knob).
+	NoIndex bool
+	// MaxBatch caps the number of queries in one POST /query request;
+	// <= 0 defaults to 256.
+	MaxBatch int
+}
+
+// Server is the HTTP/JSON query service: POST /query (single and
+// batched), GET /explain (text and ?format=json), GET /docs,
+// /healthz, /metrics. Safe for concurrent use.
+type Server struct {
+	s *server.Server
+}
+
+// NewServer builds a query server over the catalog.
+func NewServer(cfg ServerConfig) *Server {
+	return &Server{s: server.New(server.Config{
+		Catalog:            cfg.Catalog.c,
+		CacheBytes:         cfg.CacheBytes,
+		Workers:            cfg.Workers,
+		DefaultParallelism: cfg.DefaultParallelism,
+		NoIndex:            cfg.NoIndex,
+		MaxBatch:           cfg.MaxBatch,
+	})}
+}
+
+// Handler returns the HTTP routing table, ready for http.Server.
+func (s *Server) Handler() http.Handler { return s.s.Handler() }
