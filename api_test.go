@@ -106,6 +106,101 @@ func TestPublicPlanSurface(t *testing.T) {
 	}
 }
 
+func TestPublicStreamingSurface(t *testing.T) {
+	d, err := staircase.GenerateXMark(0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "//bidder[descendant::increase]"
+	p, err := d.Prepare(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Nodes) < 3 {
+		t.Fatalf("fixture too small: %d results", len(full.Nodes))
+	}
+
+	// RunLimit returns the k-prefix and reports truncation.
+	top, err := p.RunLimit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Nodes) != 2 || !top.Truncated {
+		t.Fatalf("RunLimit(2): %d nodes truncated=%v", len(top.Nodes), top.Truncated)
+	}
+	for i, v := range top.Nodes {
+		if v != full.Nodes[i] {
+			t.Fatalf("RunLimit prefix mismatch at %d: %d != %d", i, v, full.Nodes[i])
+		}
+	}
+
+	// Cursor drains to the identical sequence, batch by batch.
+	cur, err := p.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	var got []int32
+	for {
+		b, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		got = append(got, b...)
+	}
+	if !cur.Exhausted() {
+		t.Fatal("drained cursor not exhausted")
+	}
+	if len(got) != len(full.Nodes) {
+		t.Fatalf("cursor drained %d nodes, want %d", len(got), len(full.Nodes))
+	}
+	for i := range got {
+		if got[i] != full.Nodes[i] {
+			t.Fatalf("cursor mismatch at %d", i)
+		}
+	}
+
+	// Seek skips ahead: everything delivered after the hint must be
+	// >= it, and the tail matches the full result's tail.
+	cur2, err := p.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur2.Close()
+	mid := full.Nodes[len(full.Nodes)/2]
+	cur2.Seek(mid)
+	var tail []int32
+	for {
+		b, err := cur2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		tail = append(tail, b...)
+	}
+	if len(tail) == 0 || tail[0] < mid {
+		t.Fatalf("seek ignored: first delivered %v, hint %d", tail, mid)
+	}
+	wantTail := full.Nodes[len(full.Nodes)/2:]
+	if len(tail) < len(wantTail) {
+		t.Fatalf("seek lost results: %d < %d", len(tail), len(wantTail))
+	}
+	for i := range wantTail {
+		if tail[len(tail)-len(wantTail)+i] != wantTail[i] {
+			t.Fatalf("seek tail mismatch at %d", i)
+		}
+	}
+}
+
 func TestPublicBinaryRoundTripAndOpen(t *testing.T) {
 	d, err := staircase.GenerateXMark(0.05, 3)
 	if err != nil {

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -116,6 +117,58 @@ func smokeFamily(c *Corpus) []struct {
 		// prepared-plan and result caches all primed, one POST /query
 		// round trip through the handler per op.
 		{"ServerWarmPlan", serverWarmBench(d)},
+		// The streaming executor: time-to-first-result of an
+		// exists-semijoin query (the kernels must stop after the first
+		// satisfying batch), and full-result cursor drain throughput
+		// (streaming must not tax callers who do want everything).
+		{"FirstResultLatency", func(b *testing.B) {
+			p, err := e.PrepareString(QStream, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := p.EvalLimit(ctx, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Nodes) != 1 {
+					b.Fatal("no first result")
+				}
+			}
+		}},
+		{"StreamThroughput", func(b *testing.B) {
+			// Whole-document drain: tens of batches per op, so the
+			// measurement reflects steady-state batch throughput rather
+			// than cursor setup.
+			p, err := e.PrepareString("/descendant-or-self::node()", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cur, err := p.Cursor(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					batch, err := cur.Next()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if batch == nil {
+						break
+					}
+					n += len(batch)
+				}
+				if n == 0 {
+					b.Fatal("empty drain")
+				}
+			}
+		}},
 	}
 }
 

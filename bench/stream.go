@@ -1,0 +1,89 @@
+// The streaming-executor experiment: first-result latency and full
+// cursor drain throughput versus materialized evaluation. This is the
+// §3.3 skipping argument carried to its conclusion — "skip what
+// cannot qualify" extended to "never touch what nobody asked for":
+// an existence probe or top-1 query over a staircase-join plan should
+// cost a fixed number of batches, not the whole pre/post plane, and
+// the gap should widen linearly with document size.
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"staircase/internal/engine"
+)
+
+// QStream is the exists-semijoin query class of the streaming
+// acceptance criterion: bidders having an increase descendant (the
+// §4.4 rewritten Q2).
+const QStream = "//bidder[descendant::increase]"
+
+// Stream regenerates the streaming-executor comparison: EvalFirst /
+// EvalLimit(1) latency vs full Eval, and full-result cursor drain
+// throughput vs materialized execution, per document size.
+func Stream(c *Corpus, sizes []float64) Table {
+	t := Table{
+		ID:     "stream",
+		Title:  "streaming skip-aware executor: first-result latency and drain throughput",
+		Header: []string{"size[MB]", "nodes", "result", "full[ms]", "first[ms]", "speedup", "drain[ms]", "drain/full"},
+		Notes: []string{
+			fmt.Sprintf("query: %s (exists-semijoin plan)", QStream),
+			"full = materialized Eval; first = EvalLimit(1) through the cursor executor (kernels stop after the first satisfying batch)",
+			"drain = full-result cursor drain (streaming, bounded batches); ratios near 1.0 mean streaming costs nothing when you do want everything",
+		},
+	}
+	ctx := context.Background()
+	for _, mb := range sizes {
+		d := c.Doc(mb)
+		e := engine.New(d)
+		d.TagIndex()
+		p, err := e.PrepareString(QStream, nil)
+		if err != nil {
+			panic(err)
+		}
+		var full, first, drained int
+		tFull := timeIt(5, func() {
+			r, err := p.Run()
+			if err != nil {
+				panic(err)
+			}
+			full = len(r.Nodes)
+		})
+		tFirst := timeIt(5, func() {
+			r, err := p.EvalLimit(ctx, 1)
+			if err != nil {
+				panic(err)
+			}
+			first = len(r.Nodes)
+		})
+		tDrain := timeIt(5, func() {
+			cur, err := p.Cursor(ctx)
+			if err != nil {
+				panic(err)
+			}
+			drained = 0
+			for {
+				b, err := cur.Next()
+				if err != nil {
+					panic(err)
+				}
+				if b == nil {
+					break
+				}
+				drained += len(b)
+			}
+		})
+		if drained != full || (full > 0 && first != 1) {
+			panic(fmt.Sprintf("bench: stream result mismatch: full=%d first=%d drained=%d", full, first, drained))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", mb), fmt.Sprint(d.Size()), fmt.Sprint(full),
+			ms(tFull), ms(tFirst),
+			fmt.Sprintf("%.1fx", float64(tFull.Nanoseconds())/float64(max(tFirst.Nanoseconds(), 1))),
+			ms(tDrain),
+			fmt.Sprintf("%.2f", float64(tDrain.Nanoseconds())/float64(max(tFull.Nanoseconds(), 1))),
+		})
+	}
+	return t
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"staircase/internal/engine"
+)
+
+// TestStreamExperiment smoke-runs the stream experiment table.
+func TestStreamExperiment(t *testing.T) {
+	tab := Stream(NewCorpus(), []float64{0.25})
+	if len(tab.Rows) != 1 {
+		t.Fatalf("stream table rows: %d", len(tab.Rows))
+	}
+}
+
+// TestEvalFirstWallTime is the streaming acceptance criterion:
+// EvalLimit(1) on the exists-semijoin query class over the XMark
+// smoke document must complete in <= 20% of the full Eval wall time
+// (in practice it is a small fixed cost, orders of magnitude below).
+func TestEvalFirstWallTime(t *testing.T) {
+	c := NewCorpus()
+	d := c.Doc(smokeSizeMB)
+	d.TagIndex()
+	e := engine.New(d)
+	p, err := e.PrepareString(QStream, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var fullN int
+	full := timeIt(7, func() {
+		r, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullN = len(r.Nodes)
+	})
+	if fullN == 0 {
+		t.Fatal("fixture query returned nothing; acceptance criterion vacuous")
+	}
+	first := timeIt(7, func() {
+		r, err := p.EvalLimit(ctx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Nodes) != 1 || !r.Truncated {
+			t.Fatalf("EvalLimit(1): %d nodes, truncated=%v", len(r.Nodes), r.Truncated)
+		}
+	})
+	if limit := full / 5; first > limit {
+		t.Fatalf("EvalLimit(1) took %v, over 20%% of full Eval (%v)", first, full)
+	}
+	t.Logf("full=%v first=%v (%.1f%%)", full, first, 100*float64(first)/float64(full))
+}
+
+// TestEvalFirstAllocs: EvalFirst on Q1 must allocate <= 10% of the
+// bytes a full Eval allocates — the executor's bounded-memory claim
+// in benchmarkable form. Measured at 16 MB: EvalFirst's footprint is
+// a fixed few KB of cursor state regardless of document size, while
+// full evaluation materializes result lists that grow with the
+// document (at the 0.5 MB smoke size both are a handful of KB —
+// dominated by the per-execution stats both executors share — and
+// the ratio says nothing about memory behaviour).
+func TestEvalFirstAllocs(t *testing.T) {
+	c := NewCorpus()
+	d := c.Doc(16)
+	d.TagIndex()
+	e := engine.New(d)
+	p, err := e.PrepareString(Q1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	fullRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	firstRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.EvalFirst(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fullBytes := fullRes.AllocedBytesPerOp()
+	firstBytes := firstRes.AllocedBytesPerOp()
+	if fullBytes == 0 {
+		t.Skip("full Eval reported zero allocations")
+	}
+	if firstBytes*10 > fullBytes {
+		t.Fatalf("EvalFirst allocates %d B/op, over 10%% of full Eval's %d B/op", firstBytes, fullBytes)
+	}
+	t.Logf("full=%d B/op first=%d B/op (%.1f%%)", fullBytes, firstBytes, 100*float64(firstBytes)/float64(fullBytes))
+}

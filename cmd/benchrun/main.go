@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|index|parallel|copyscan|mpmgjn|storage|server]
+//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|index|parallel|copyscan|mpmgjn|storage|server|stream]
 //	         [-sizes 0.5,1,2,4] [-parallel-size 4] [-workers 1,2,4,8] [-clients 1,2,4,8]
 //	         [-parallel N] [-out file] [-json]
 //
@@ -221,9 +221,10 @@ func main() {
 		"mpmgjn":   func() bench.Table { return bench.MPMGJN(c, sizes) },
 		"storage":  func() bench.Table { return bench.Storage(c, sizes) },
 		"server":   func() bench.Table { return bench.ServerThroughput(c, *parSize, clients) },
+		"stream":   func() bench.Table { return bench.Stream(c, sizes) },
 	}
 	order := []string{"table1", "fig3", "fig11a", "fig11b", "fig11c", "fig11d",
-		"fig11e", "fig11f", "window", "frag", "index", "parallel", "copyscan", "mpmgjn", "storage", "server"}
+		"fig11e", "fig11f", "window", "frag", "index", "parallel", "copyscan", "mpmgjn", "storage", "server", "stream"}
 
 	emitJSON := func(tables []bench.Table) {
 		enc := json.NewEncoder(w)

@@ -21,10 +21,18 @@
 //	  "queries": ["/descendant::profile/descendant::education",
 //	              "/descendant::increase/ancestor::bidder"]
 //	}'
+//	curl -s localhost:8080/query -d '{"doc":"auction","query":"//bidder","limit":5}'
+//	curl -sN localhost:8080/stream -d '{"doc":"auction","query":"//bidder[descendant::increase]"}'
 //	curl -s 'localhost:8080/explain?doc=auction&q=//bidder'
 //	curl -s 'localhost:8080/explain?doc=auction&q=//bidder&format=json'
 //	curl -s localhost:8080/docs
 //	curl -s localhost:8080/metrics
+//
+// A query limit evaluates through the streaming executor (the join
+// kernels stop after the limit-th result), and POST /stream writes
+// result batches as NDJSON lines as the kernels produce them. Request
+// cancellation (timeouts, client disconnects) propagates into running
+// plans and frees their worker-pool slots.
 package main
 
 import (

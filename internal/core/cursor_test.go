@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"staircase/internal/axis"
+)
+
+var cursorAxes = []axis.Axis{axis.Descendant, axis.Ancestor, axis.Following, axis.Preceding}
+
+// drainCursor pulls a cursor to exhaustion with the given batch
+// capacity, asserting the inter-batch ordering contract.
+func drainCursor(t *testing.T, c JoinCursor, batch int) []int32 {
+	t.Helper()
+	var out []int32
+	for {
+		got, err := c.Next(make([]int32, 0, batch), 0)
+		if err != nil {
+			t.Fatalf("cursor error: %v", err)
+		}
+		if got == nil {
+			return out
+		}
+		if len(got) == 0 {
+			t.Fatalf("cursor returned an empty non-nil batch")
+		}
+		for i, v := range got {
+			if len(out) > 0 && i == 0 && v <= out[len(out)-1] {
+				t.Fatalf("batch not increasing across batches: %d after %d", v, out[len(out)-1])
+			}
+			if i > 0 && v <= got[i-1] {
+				t.Fatalf("batch not strictly increasing: %v", got)
+			}
+		}
+		out = append(out, got...)
+	}
+}
+
+// TestJoinCursorEqualsBatchJoin: draining a cursor must reproduce the
+// batch kernel's node sequence exactly, for every axis, variant and
+// batch size, over full documents and over node lists.
+func TestJoinCursorEqualsBatchJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		d, context := docFromSeed(rng.Int63(), uint16(rng.Intn(1<<16)))
+		list := randomList(rng, d, 0.3)
+		for _, a := range cursorAxes {
+			for _, v := range []Variant{NoSkip, Skip, SkipEstimate} {
+				batch := 1 + rng.Intn(70)
+				o := &Options{Variant: v}
+				want, err := Join(d, a, context, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur, err := NewJoinCursor(d, a, SliceSource(context), o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := drainCursor(t, cur, batch); !eq32(got, want) {
+					t.Fatalf("cursor != join for %v/%v batch=%d:\n got %v\nwant %v", a, v, batch, got, want)
+				}
+				wantList, err := JoinNodeList(d, a, list, context, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lcur, err := NewJoinNodeListCursor(d, a, list, SliceSource(context), o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := drainCursor(t, lcur, batch); !eq32(got, wantList) {
+					t.Fatalf("list cursor != list join for %v/%v batch=%d:\n got %v\nwant %v", a, v, batch, got, wantList)
+				}
+			}
+		}
+	}
+}
+
+// TestJoinCursorSeek: with a seek hint, the cursor may omit results
+// below the hint but must reproduce the batch result exactly from the
+// hint onward.
+func TestJoinCursorSeek(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		d, context := docFromSeed(rng.Int63(), uint16(rng.Intn(1<<16)))
+		list := randomList(rng, d, 0.3)
+		seek := int32(rng.Intn(d.Size()))
+		for _, a := range cursorAxes {
+			o := &Options{Variant: SkipEstimate, Stats: &Stats{}}
+			want, err := Join(d, a, context, &Options{Variant: SkipEstimate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur, err := NewJoinCursor(d, a, SliceSource(context), o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSeek(t, cur, seek, want, 1+rng.Intn(40))
+
+			wantList, _ := JoinNodeList(d, a, list, context, nil)
+			lcur, err := NewJoinNodeListCursor(d, a, list, SliceSource(context), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSeek(t, lcur, seek, wantList, 1+rng.Intn(40))
+		}
+	}
+}
+
+func checkSeek(t *testing.T, c JoinCursor, seek int32, want []int32, batch int) {
+	t.Helper()
+	var got []int32
+	for {
+		b, err := c.Next(make([]int32, 0, batch), seek)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		got = append(got, b...)
+	}
+	// The tail of want from the seek point must be produced verbatim;
+	// anything before it may or may not be.
+	tail := want[searchList(want, seek):]
+	if len(got) < len(tail) || !eq32(got[len(got)-len(tail):], tail) {
+		t.Fatalf("seek(%d): tail mismatch\n got %v\nwant tail %v", seek, got, tail)
+	}
+	// Everything produced must be a subset of the full result.
+	for _, v := range got {
+		i := searchList(want, v)
+		if i >= len(want) || want[i] != v {
+			t.Fatalf("seek(%d): produced %d not in full result %v", seek, v, want)
+		}
+	}
+}

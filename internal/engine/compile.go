@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"staircase/internal/plan"
 	"staircase/internal/xpath"
 )
@@ -109,6 +111,60 @@ func (p *Prepared) RunContext(context []int32) (*Result, error) {
 		return nil, err
 	}
 	return planResult(r), nil
+}
+
+// RunCtx executes the plan with the document root as initial context
+// and cancellation: the execution checks ctx between operator batches
+// and per-node loops, so server timeouts and client disconnects stop
+// running joins.
+func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
+	r, err := p.pl.RunCtx(ctx, []int32{p.eng.d.Root()})
+	if err != nil {
+		return nil, err
+	}
+	return planResult(r), nil
+}
+
+// EvalFirst executes the plan through the streaming cursor executor
+// and stops after the first result node — the existence/top-1 probe.
+// Equivalent to EvalLimit(ctx, 1).
+func (p *Prepared) EvalFirst(ctx context.Context) (*Result, error) {
+	return p.EvalLimit(ctx, 1)
+}
+
+// EvalLimit executes the plan through the streaming cursor executor,
+// stopping after limit result nodes: the staircase kernels suspend
+// mid-partition and the document regions beyond the limit are never
+// scanned. Result.Nodes is a prefix of the full evaluation's nodes;
+// Result.Truncated reports whether further results may exist. A
+// limit <= 0 evaluates fully (identical to Run).
+func (p *Prepared) EvalLimit(ctx context.Context, limit int) (*Result, error) {
+	r, err := p.pl.RunLimitRoot(ctx, limit)
+	if err != nil {
+		return nil, err
+	}
+	return planResult(r), nil
+}
+
+// EvalLimitContext is EvalLimit with an explicit initial context.
+func (p *Prepared) EvalLimitContext(ctx context.Context, nodes []int32, limit int) (*Result, error) {
+	r, err := p.pl.RunLimit(ctx, nodes, limit)
+	if err != nil {
+		return nil, err
+	}
+	return planResult(r), nil
+}
+
+// Cursor opens a streaming execution of the plan from the document
+// root: an iterator over the result in document-ordered batches. The
+// cursor is single-use; the Prepared plan stays shareable.
+func (p *Prepared) Cursor(ctx context.Context) (*plan.RunCursor, error) {
+	return p.pl.CursorRoot(ctx)
+}
+
+// CursorContext is Cursor with an explicit initial context.
+func (p *Prepared) CursorContext(ctx context.Context, nodes []int32) (*plan.RunCursor, error) {
+	return p.pl.Cursor(ctx, nodes)
 }
 
 // Explain executes the plan and renders the optimized operator tree

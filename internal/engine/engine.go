@@ -157,6 +157,9 @@ type Result struct {
 	Nodes []int32
 	// Steps reports per-step statistics in evaluation order.
 	Steps []StepReport
+	// Truncated reports that a limited evaluation (EvalFirst,
+	// EvalLimit) stopped at its limit while further results may exist.
+	Truncated bool
 }
 
 // Engine evaluates XPath paths over one document. Engines are safe for
@@ -276,7 +279,7 @@ func (e *Engine) evalPlan(q xpath.Query, context []int32, opts *Options) (*Resul
 // planResult converts a plan execution result to the engine's report
 // form (the two are field-compatible by construction).
 func planResult(r *plan.Result) *Result {
-	res := &Result{Nodes: r.Nodes, Steps: make([]StepReport, len(r.Steps))}
+	res := &Result{Nodes: r.Nodes, Steps: make([]StepReport, len(r.Steps)), Truncated: r.Truncated}
 	for i, s := range r.Steps {
 		res.Steps[i] = StepReport{
 			Step:       s.Step,

@@ -10,14 +10,88 @@ package engine
 // concurrent plan execution over one shared engine.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"staircase/internal/axis"
+	"staircase/internal/plan"
 	"staircase/internal/xpath"
 )
+
+func init() {
+	// Assert executor invariants (e.g. the PosFilter sort-decay
+	// monotonicity) throughout the differential suite.
+	plan.EnableInvariantChecks(true)
+}
+
+// drainPrepared runs a prepared plan through the streaming cursor
+// executor to exhaustion.
+func drainPrepared(p *Prepared) ([]int32, error) {
+	cur, err := p.Cursor(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var out []int32
+	for {
+		b, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b...)
+	}
+}
+
+// checkStreaming pins the cursor executor to the legacy result: a full
+// drain must be byte-identical, and EvalLimit(k) must return exactly
+// the k-prefix with a consistent Truncated report.
+func checkStreaming(t *testing.T, e *Engine, q string, opts *Options, want []int32) {
+	t.Helper()
+	p, err := e.PrepareString(q, opts)
+	if err != nil {
+		t.Errorf("prepare %s %+v: %v", q, *opts, err)
+		return
+	}
+	got, err := drainPrepared(p)
+	if err != nil {
+		t.Errorf("cursor drain %s %+v: %v", q, *opts, err)
+		return
+	}
+	if !eq32(got, want) {
+		t.Errorf("cursor drain != legacy for %s under %+v:\n got %v\nwant %v", q, *opts, got, want)
+		return
+	}
+	// A deterministic pseudo-random limit in [1, len(want)+2].
+	lim := 1 + (len(q)*7+len(want)*3)%(len(want)+2)
+	lr, err := p.EvalLimit(context.Background(), lim)
+	if err != nil {
+		t.Errorf("EvalLimit(%d) %s %+v: %v", lim, q, *opts, err)
+		return
+	}
+	wantPrefix := want
+	if lim < len(want) {
+		wantPrefix = want[:lim]
+	}
+	if !eq32(lr.Nodes, wantPrefix) {
+		t.Errorf("EvalLimit(%d) != legacy prefix for %s under %+v:\n got %v\nwant %v",
+			lim, q, *opts, lr.Nodes, wantPrefix)
+		return
+	}
+	if !lr.Truncated && len(lr.Nodes) != len(want) {
+		t.Errorf("EvalLimit(%d) for %s under %+v: Truncated=false but %d of %d nodes returned",
+			lim, q, *opts, len(lr.Nodes), len(want))
+	}
+	if lr.Truncated && len(lr.Nodes) < lim && len(lr.Nodes) < len(want) {
+		t.Errorf("EvalLimit(%d) for %s under %+v: Truncated=true but stopped early with %d nodes",
+			lim, q, *opts, len(lr.Nodes))
+	}
+}
 
 // randAxes spans every axis the parser can produce.
 var randAxes = []axis.Axis{
@@ -166,6 +240,7 @@ func TestPlanEquivalentToLegacyEval(t *testing.T) {
 							q, k, got.Nodes, legacy.Nodes)
 						return
 					}
+					checkStreaming(t, e, q, &k, legacy.Nodes)
 				}
 			}(q)
 		}
@@ -201,6 +276,7 @@ func TestPlanEquivalenceOnFixtureMatrix(t *testing.T) {
 					t.Fatalf("plan != legacy for %s [%v/%v]:\n got %v\nwant %v",
 						q, s, push, got.Nodes, legacy.Nodes)
 				}
+				checkStreaming(t, e, q, &opts, legacy.Nodes)
 			}
 		}
 	}

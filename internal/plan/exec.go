@@ -5,6 +5,7 @@
 package plan
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -44,6 +45,11 @@ type opStat struct {
 	pushed   bool
 	indexed  bool
 	fragSize int
+	// skipped counts document (or fragment) nodes the operator's
+	// staircase kernels jumped over without touching — the §3.3 empty
+	// regions plus, under streaming execution, seek jumps and regions
+	// never scanned because a downstream consumer stopped early.
+	skipped int64
 	// bound is the cost model's full-join touch bound from the actual
 	// context; workersOffered the worker count the fan-out decision
 	// used.
@@ -64,10 +70,23 @@ type execCtx struct {
 	initial []int32
 	ops     []opStat
 	steps   []StepStats
+	// ctx carries cancellation into the execution; operators check it
+	// between batches (streaming) and at operator/loop boundaries
+	// (materializing), so server timeouts and client disconnects stop
+	// running joins. nil means "never cancelled".
+	ctx context.Context
 	// cur points at the opStat of the operator currently evaluating a
 	// partitioning axis, so the shared helpers can record the cost
 	// bounds and decisions they compute.
 	cur *opStat
+}
+
+// cancelled reports the execution context's error, if any.
+func (ec *execCtx) cancelled() error {
+	if ec.ctx == nil {
+		return nil
+	}
+	return ec.ctx.Err()
 }
 
 // Result is the outcome of a plan execution.
@@ -78,6 +97,9 @@ type Result struct {
 	// Steps reports per-step statistics in evaluation order (union
 	// branches concatenate).
 	Steps []StepStats
+	// Truncated reports that a RunLimit execution stopped at its limit
+	// while further results may exist (the cursor was not drained).
+	Truncated bool
 
 	ops []opStat // per-operator actuals, consumed by EXPLAIN
 }
@@ -133,22 +155,37 @@ func (p *Plan) Canon() string {
 // branches (absolute branches always start at the document root);
 // pass the document root for the conventional whole-document query.
 func (p *Plan) Run(initial []int32) (*Result, error) {
+	return p.RunCtx(nil, initial)
+}
+
+// RunCtx is Run with cancellation: the execution checks ctx at
+// operator boundaries and inside per-node loops, returning ctx's
+// error once it is cancelled. A nil ctx never cancels.
+func (p *Plan) RunCtx(ctx context.Context, initial []int32) (*Result, error) {
+	ec := p.newExecCtx(ctx, initial)
+	nodes, err := p.root.run(ec)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Nodes: nodes, Steps: ec.steps, ops: ec.ops}, nil
+}
+
+// newExecCtx builds the per-execution state shared by the
+// materializing and streaming executors.
+func (p *Plan) newExecCtx(ctx context.Context, initial []int32) *execCtx {
 	ec := &execCtx{
 		env:     p.env,
 		opts:    &p.opts,
 		initial: initial,
 		ops:     make([]opStat, len(p.ops)),
 		steps:   make([]StepStats, len(p.metas)),
+		ctx:     ctx,
 	}
 	for i, m := range p.metas {
 		ec.steps[i].Step = m.display
 		ec.steps[i].Axis = m.axis
 	}
-	nodes, err := p.root.run(ec)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Nodes: nodes, Steps: ec.steps, ops: ec.ops}, nil
+	return ec
 }
 
 // RunRoot executes the plan with the document root as initial context

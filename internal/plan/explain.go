@@ -41,6 +41,7 @@ type ExplainNode struct {
 	Ran      bool   `json:"ran,omitempty"`
 	In       int    `json:"in,omitempty"`
 	Out      int    `json:"out,omitempty"`
+	Skipped  int64  `json:"skipped,omitempty"`
 	Pushed   bool   `json:"pushed,omitempty"`
 	Indexed  bool   `json:"indexed,omitempty"`
 	Fragment int    `json:"fragment,omitempty"`
@@ -146,6 +147,7 @@ func (p *Plan) explainNode(o op, res *Result) *ExplainNode {
 	if ost != nil && ost.ran {
 		n.Ran = true
 		n.In, n.Out = ost.in, ost.out
+		n.Skipped = ost.skipped
 		n.Pushed, n.Indexed = ost.pushed, ost.indexed
 		if ost.fragSize > 0 {
 			n.Fragment = ost.fragSize
@@ -237,7 +239,7 @@ func (p *Plan) renderOp(sb *strings.Builder, o op, res *Result, depth int) {
 	}
 	card := func(est estimates) {
 		if ost != nil && ost.ran {
-			line("  cardinality: %d context -> %d result (est %d)", ost.in, ost.out, est.Out)
+			line("  cardinality: %d context -> %d result (est %d, skipped=%d)", ost.in, ost.out, est.Out, ost.skipped)
 		} else {
 			line("  cardinality: est %d context -> est %d result", est.In, est.Out)
 		}

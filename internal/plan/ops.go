@@ -37,8 +37,12 @@ import (
 
 // op is one physical operator.
 type op interface {
-	// run pulls the input operators and evaluates this operator.
+	// run pulls the input operators and evaluates this operator
+	// (materializing executor).
 	run(ec *execCtx) ([]int32, error)
+	// open returns a streaming cursor over the operator's result
+	// (cursor executor, cursor.go). The cursor owns its input cursors.
+	open(ec *execCtx) (cursor, error)
 	// kids returns the input operators (primary input first).
 	kids() []op
 	// opID is the operator's index into the plan's op table.
@@ -215,10 +219,14 @@ func (o *joinOp) run(ec *execCtx) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ec.cancelled(); err != nil {
+		return nil, err
+	}
 	st := ec.step(o.meta, len(in))
 	ost := &ec.ops[o.id]
 	prev := ec.cur
 	ec.cur = ost
+	skippedBefore := st.Core.Skipped
 	start := time.Now()
 	var out []int32
 	if o.docNode {
@@ -233,6 +241,7 @@ func (o *joinOp) run(ec *execCtx) ([]int32, error) {
 	}
 	st.OutputSize = len(out)
 	ost.record(len(in), len(out))
+	ost.skipped += st.Core.Skipped - skippedBefore
 	return out, nil
 }
 
@@ -264,6 +273,9 @@ func (o *axisStepOp) kids() []op { return []op{o.in} }
 func (o *axisStepOp) run(ec *execCtx) ([]int32, error) {
 	in, err := o.in.run(ec)
 	if err != nil {
+		return nil, err
+	}
+	if err := ec.cancelled(); err != nil {
 		return nil, err
 	}
 	st := ec.step(o.meta, len(in))
@@ -304,7 +316,12 @@ func (o *predFilterOp) run(ec *execCtx) ([]int32, error) {
 	st := &ec.steps[o.meta.ord-1]
 	start := time.Now()
 	out := in[:0]
-	for _, v := range in {
+	for i, v := range in {
+		if i&1023 == 0 {
+			if err := ec.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		ok, err := o.prog.holds(ec, v)
 		if err != nil {
 			return nil, err
@@ -346,9 +363,13 @@ func (o *semiJoinOp) run(ec *execCtx) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ec.cancelled(); err != nil {
+		return nil, err
+	}
 	st := &ec.steps[o.meta.ord-1]
 	ost := &ec.ops[o.id]
 	start := time.Now()
+	skippedBefore := st.Core.Skipped
 	list, indexed, _ := o.frag.resolve(ec)
 	ost.indexed = indexed
 	var out []int32
@@ -363,6 +384,7 @@ func (o *semiJoinOp) run(ec *execCtx) ([]int32, error) {
 	st.OutputSize = len(out)
 	ost.record(len(in), len(out))
 	ost.fragSize = len(list)
+	ost.skipped += st.Core.Skipped - skippedBefore
 	return out, nil
 }
 
@@ -393,42 +415,91 @@ func (o *posFilterOp) run(ec *execCtx) ([]int32, error) {
 	prev := ec.cur
 	ec.cur = ost
 	start := time.Now()
-	var all []int32
-	for _, c := range in {
-		var nodes []int32
-		if o.docNode {
-			nodes, err = ec.docRootAxisTest(o.step.Axis, o.step.Test, st)
-		} else {
-			nodes, err = ec.axisTest(o.step.Axis, o.step.Test, []int32{c}, st)
-		}
-		if err != nil {
-			break
-		}
-		if o.step.Axis.Reverse() {
-			for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
-				nodes[i], nodes[j] = nodes[j], nodes[i]
-			}
-		}
-		for _, prog := range o.progs {
-			nodes, err = applyPositional(ec, nodes, prog)
-			if err != nil {
-				break
-			}
-		}
-		if err != nil {
-			break
-		}
-		all = append(all, nodes...)
-	}
+	out, err := o.evalContext(ec, in, st)
 	st.Duration += time.Since(start)
 	ec.cur = prev
 	if err != nil {
 		return nil, err
 	}
-	out := sortDedup(all)
 	st.OutputSize = len(out)
 	ost.record(len(in), len(out))
 	return out, nil
+}
+
+// evalContext evaluates the positional step for a whole context
+// sequence, context node by context node (shared by the materializing
+// run and the blocking modes of the streaming cursor).
+func (o *posFilterOp) evalContext(ec *execCtx, in []int32, st *StepStats) ([]int32, error) {
+	var all []int32
+	// Forward-axis per-context results are strictly increasing, so the
+	// concatenation only needs re-sorting when consecutive groups
+	// interleave; reverse axes emit per-context results backwards and
+	// always re-sort.
+	sorted := !o.step.Axis.Reverse()
+	for _, c := range in {
+		if err := ec.cancelled(); err != nil {
+			return nil, err
+		}
+		nodes, err := o.evalOne(ec, c, st)
+		if err != nil {
+			return nil, err
+		}
+		if sorted && len(nodes) > 0 && len(all) > 0 && nodes[0] <= all[len(all)-1] {
+			sorted = false
+		}
+		all = append(all, nodes...)
+	}
+	// Per-context results are sorted; when they never interleaved
+	// (the common case: disjoint context subtrees) the concatenation
+	// is already a document-ordered duplicate-free sequence, so the
+	// defensive sortDedup decays to the monotonicity counter above.
+	if sorted {
+		if invariantChecks {
+			assertSortedDedup(all)
+		}
+		return all, nil
+	}
+	return sortDedup(all), nil
+}
+
+// evalOne evaluates the positional step for one context node: axis
+// result in proximity order (reverse axes count backwards), then the
+// predicates in sequence. (The streaming cursor's evalOneCapped wraps
+// this with the [k] early-stop; the materializing executor keeps its
+// exact per-step work counters.)
+func (o *posFilterOp) evalOne(ec *execCtx, c int32, st *StepStats) ([]int32, error) {
+	var nodes []int32
+	var err error
+	if o.docNode {
+		nodes, err = ec.docRootAxisTest(o.step.Axis, o.step.Test, st)
+	} else {
+		nodes, err = ec.axisTest(o.step.Axis, o.step.Test, []int32{c}, st)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.step.Axis.Reverse() {
+		for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+			nodes[i], nodes[j] = nodes[j], nodes[i]
+		}
+	}
+	for _, prog := range o.progs {
+		nodes, err = applyPositional(ec, nodes, prog)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}
+
+// firstK returns k when the operator's first predicate is a bare
+// position()=k (or [k]) test — the axis result beyond the k-th
+// candidate can then never influence the output — and 0 otherwise.
+func (o *posFilterOp) firstK() int {
+	if len(o.progs) == 0 || o.progs[0].kind != pgPosition {
+		return 0
+	}
+	return o.progs[0].n
 }
 
 // applyPositional applies one predicate to an axis-ordered node
@@ -460,6 +531,9 @@ func (o *mergeOp) run(ec *execCtx) ([]int32, error) {
 	var acc []int32
 	total := 0
 	for _, in := range o.ins {
+		if err := ec.cancelled(); err != nil {
+			return nil, err
+		}
 		nodes, err := in.run(ec)
 		if err != nil {
 			return nil, err
@@ -681,45 +755,44 @@ func variantFor(s Strategy) core.Variant {
 // filterTest filters nodes by the node test in place (the slice is
 // reused) and returns the filtered prefix.
 func filterTest(d *doc.Document, a axis.Axis, test xpath.NodeTest, nodes []int32) []int32 {
+	out := nodes[:0]
+	for _, v := range nodes {
+		if nodePassesTest(d, a, test, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// nodePassesTest decides the node test for one node on one axis.
+func nodePassesTest(d *doc.Document, a axis.Axis, test xpath.NodeTest, v int32) bool {
 	principal := doc.Elem
 	if a == axis.Attribute {
 		principal = doc.Attr
 	}
-	out := nodes[:0]
-	for _, v := range nodes {
-		k := d.KindOf(v)
-		// Axis-level kind filtering for axes evaluated outside the
-		// staircase join (child, self, siblings): attributes appear
-		// only on the attribute axis.
-		if a != axis.Attribute && k == doc.Attr {
-			continue
-		}
-		switch test.Kind {
-		case xpath.TestName:
-			if k == principal && d.Name(v) == test.Name {
-				out = append(out, v)
-			}
-		case xpath.TestAny:
-			if k == principal {
-				out = append(out, v)
-			}
-		case xpath.TestNode:
-			out = append(out, v)
-		case xpath.TestText:
-			if k == doc.Text {
-				out = append(out, v)
-			}
-		case xpath.TestComment:
-			if k == doc.Comment {
-				out = append(out, v)
-			}
-		case xpath.TestPI:
-			if k == doc.PI && (test.Name == "" || d.Name(v) == test.Name) {
-				out = append(out, v)
-			}
-		}
+	k := d.KindOf(v)
+	// Axis-level kind filtering for axes evaluated outside the
+	// staircase join (child, self, siblings): attributes appear only
+	// on the attribute axis.
+	if a != axis.Attribute && k == doc.Attr {
+		return false
 	}
-	return out
+	switch test.Kind {
+	case xpath.TestName:
+		return k == principal && d.Name(v) == test.Name
+	case xpath.TestAny:
+		return k == principal
+	case xpath.TestNode:
+		return true
+	case xpath.TestText:
+		return k == doc.Text
+	case xpath.TestComment:
+		return k == doc.Comment
+	case xpath.TestPI:
+		return k == doc.PI && (test.Name == "" || d.Name(v) == test.Name)
+	default:
+		return false
+	}
 }
 
 // sortDedup sorts a pre-rank slice and removes duplicates in place.

@@ -22,11 +22,22 @@
 //     the machine.
 //
 // Endpoints: POST /query (single or batched queries against one
-// document), GET /explain, GET /docs, GET /healthz, GET /metrics.
+// document), POST /stream (one query, results as NDJSON batches),
+// GET /explain, GET /docs, GET /healthz, GET /metrics.
+//
+// Request contexts propagate into plan execution: a client disconnect
+// or server timeout cancels the running cursors between batches, so
+// abandoned queries release their worker-semaphore units instead of
+// scanning to completion. Limited queries (POST /query with limit=N,
+// POST /stream) evaluate through the engine's streaming executor —
+// the staircase kernels stop after the N-th result — and the result
+// cache keys truncated results on (canonical plan, limit) so they
+// never collide with full results.
 package server
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -90,11 +101,13 @@ type Server struct {
 
 	queries     atomic.Int64
 	batches     atomic.Int64
+	streams     atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	planHits    atomic.Int64
 	planMisses  atomic.Int64
 	errors      atomic.Int64
+	cancels     atomic.Int64
 }
 
 type preparedEntry struct {
@@ -148,6 +161,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /stream", s.handleStream)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /docs", s.handleDocs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -180,20 +194,26 @@ type QueryRequest struct {
 	Options *QueryOptions `json:"options,omitempty"`
 	// NoCache bypasses the result cache (no lookup, no store).
 	NoCache bool `json:"noCache,omitempty"`
-	// Limit truncates the node list in each result (count is always the
-	// full cardinality); 0 returns all nodes.
+	// Limit stops each query after its first N result nodes via the
+	// streaming executor (the join kernels never scan past what the
+	// limit needs); 0 returns all nodes. Limited results are cached
+	// under (canonical plan, limit).
 	Limit int `json:"limit,omitempty"`
 }
 
 // QueryResult is the outcome of one query of a batch.
 type QueryResult struct {
-	Query     string  `json:"query"`
-	Count     int     `json:"count"`
-	Nodes     []int32 `json:"nodes"`
-	Truncated bool    `json:"truncated,omitempty"`
-	Cached    bool    `json:"cached"`
-	ElapsedNs int64   `json:"elapsedNs"`
-	Error     string  `json:"error,omitempty"`
+	Query string `json:"query"`
+	// Count is the number of nodes returned (under a limit: at most
+	// the limit — the full cardinality is deliberately not computed).
+	Count int     `json:"count"`
+	Nodes []int32 `json:"nodes"`
+	// Truncated reports that the limit stopped the evaluation while
+	// further results may exist.
+	Truncated bool   `json:"truncated,omitempty"`
+	Cached    bool   `json:"cached"`
+	ElapsedNs int64  `json:"elapsedNs"`
+	Error     string `json:"error,omitempty"`
 }
 
 // QueryResponse is the POST /query response. Results align with the
@@ -417,9 +437,11 @@ func (s *Server) dropStalePlansLocked(doc string, gen uint64) {
 }
 
 // evalOne answers a single query of a batch: prepare (plan caches),
-// result cache on the canonical plan, then execute under the worker
-// budget.
-func (s *Server) evalOne(h *catalog.Handle, query string, opts *engine.Options, noCache bool) QueryResult {
+// result cache on the canonical plan (extended with the limit for
+// truncated results), then execute under the worker budget. ctx
+// cancellation (request timeout, client disconnect) stops the
+// execution between batches.
+func (s *Server) evalOne(ctx context.Context, h *catalog.Handle, query string, opts *engine.Options, noCache bool, limit int) QueryResult {
 	start := time.Now()
 	res := QueryResult{Query: query}
 	p, err := s.prepare(h, query, opts)
@@ -428,11 +450,20 @@ func (s *Server) evalOne(h *catalog.Handle, query string, opts *engine.Options, 
 		return res
 	}
 	key := cacheKey(h.Name(), h.Generation(), p.Canon())
+	if limit > 0 {
+		// Truncated results must never collide with full ones (or with
+		// other limits): the limit joins the key.
+		key += "\x00limit=" + strconv.Itoa(limit)
+	}
 	if !noCache {
 		if nodes, ok := s.cache.Get(key); ok {
 			s.cacheHits.Add(1)
 			res.Nodes = nodes
 			res.Count = len(nodes)
+			// A stored limited result of exactly `limit` nodes may have
+			// more behind it — the same conservative report EvalLimit
+			// itself gives at the boundary.
+			res.Truncated = limit > 0 && len(nodes) >= limit
 			res.Cached = true
 			res.ElapsedNs = time.Since(start).Nanoseconds()
 			return res
@@ -440,17 +471,26 @@ func (s *Server) evalOne(h *catalog.Handle, query string, opts *engine.Options, 
 		s.cacheMisses.Add(1)
 	}
 	cost := s.pool.acquire(workerCost(opts))
-	r, err := p.Run()
+	var r *engine.Result
+	if limit > 0 {
+		r, err = p.EvalLimit(ctx, limit)
+	} else {
+		r, err = p.RunCtx(ctx)
+	}
 	s.pool.release(cost)
 	elapsed := time.Since(start)
 	h.RecordQuery(elapsed)
 	res.ElapsedNs = elapsed.Nanoseconds()
 	if err != nil {
+		if ctx.Err() != nil {
+			s.cancels.Add(1)
+		}
 		res.Error = err.Error()
 		return res
 	}
 	res.Nodes = r.Nodes
 	res.Count = len(r.Nodes)
+	res.Truncated = r.Truncated
 	if !noCache {
 		s.cache.Put(key, r.Nodes)
 	}
@@ -496,7 +536,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, q string) {
 			defer wg.Done()
-			resp.Results[i] = s.evalOne(h, q, opts, req.NoCache)
+			resp.Results[i] = s.evalOne(r.Context(), h, q, opts, req.NoCache, req.Limit)
 		}(i, q)
 	}
 	wg.Wait()
@@ -510,15 +550,107 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if res.Error != "" {
 			s.errors.Add(1)
 		}
-		if req.Limit > 0 && len(res.Nodes) > req.Limit {
-			res.Nodes = res.Nodes[:req.Limit]
-			res.Truncated = true
-		}
 		if res.Nodes == nil {
 			res.Nodes = []int32{} // marshal as [] rather than null
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// StreamChunk is one NDJSON line of a POST /stream response: either a
+// batch of result nodes, the terminal summary, or an error.
+type StreamChunk struct {
+	Nodes []int32 `json:"nodes,omitempty"`
+	// Done marks the terminal line; Count is the total nodes streamed
+	// and Truncated whether a limit stopped the stream early.
+	Done      bool   `json:"done,omitempty"`
+	Count     int    `json:"count,omitempty"`
+	Truncated bool   `json:"truncated,omitempty"`
+	ElapsedNs int64  `json:"elapsedNs,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// handleStream answers POST /stream: one query, evaluated through the
+// streaming cursor executor, with each result batch written as one
+// NDJSON line as soon as the kernels produce it. The stream holds its
+// worker-budget units for its whole duration; a client disconnect
+// cancels the request context, the cursor stops between batches, and
+// the units release.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Query == "" || len(req.Queries) > 0 {
+		s.fail(w, http.StatusBadRequest, "POST /stream takes exactly one query")
+		return
+	}
+	opts, err := s.engineOptions(req.Options)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h, err := s.cat.Open(req.Doc)
+	if err != nil {
+		s.fail(w, openStatus(err), "%v", err)
+		return
+	}
+	defer h.Close()
+	p, err := s.prepare(h, req.Query, opts)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	cost := s.pool.acquire(workerCost(opts))
+	defer s.pool.release(cost)
+	cur, err := p.Cursor(r.Context())
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cur.Close()
+
+	s.streams.Add(1)
+	s.queries.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	count := 0
+	truncated := false
+	for {
+		b, err := cur.Next()
+		if err != nil {
+			if r.Context().Err() != nil {
+				s.cancels.Add(1)
+			}
+			s.errors.Add(1)
+			_ = enc.Encode(StreamChunk{Error: err.Error()})
+			return
+		}
+		if b == nil {
+			break
+		}
+		if req.Limit > 0 && count+len(b) >= req.Limit {
+			b = b[:req.Limit-count]
+			count += len(b)
+			if len(b) > 0 {
+				_ = enc.Encode(StreamChunk{Nodes: b})
+			}
+			truncated = true // limit reached; more may exist
+			break
+		}
+		count += len(b)
+		_ = enc.Encode(StreamChunk{Nodes: b})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	elapsed := time.Since(start)
+	h.RecordQuery(elapsed)
+	_ = enc.Encode(StreamChunk{Done: true, Count: count, Truncated: truncated, ElapsedNs: elapsed.Nanoseconds()})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -608,6 +740,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit := func(name string, v int64) { fmt.Fprintf(w, "xpathd_%s %d\n", name, v) }
 	emit("queries_total", s.queries.Load())
 	emit("batch_requests_total", s.batches.Load())
+	emit("stream_requests_total", s.streams.Load())
+	emit("cancelled_queries_total", s.cancels.Load())
 	emit("cache_hits_total", s.cacheHits.Load())
 	emit("cache_misses_total", s.cacheMisses.Load())
 	emit("cache_entries", int64(s.cache.Len()))

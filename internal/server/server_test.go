@@ -155,11 +155,28 @@ func TestQuerySingleBatchAndCache(t *testing.T) {
 		t.Fatal("batch nodes differ")
 	}
 
-	// Limit truncates nodes but keeps the full count.
+	// Limit stops the evaluation after the first node (streaming
+	// executor): the response carries the prefix, count matches it,
+	// and truncated reports that more results may exist. The truncated
+	// result is cached under (plan, limit) — a full-result cache entry
+	// must not be served.
 	resp, _ = postQuery(t, ts.URL, QueryRequest{Doc: "mem", Query: q1, Limit: 1})
 	r := resp.Results[0]
-	if r.Count != len(want1.Nodes) || len(r.Nodes) != 1 || !r.Truncated {
+	if r.Count != 1 || len(r.Nodes) != 1 || !r.Truncated {
 		t.Fatalf("limit handling: %+v", r)
+	}
+	if r.Nodes[0] != want1.Nodes[0] {
+		t.Fatalf("limit returned %d, want prefix of %v", r.Nodes[0], want1.Nodes)
+	}
+	resp, _ = postQuery(t, ts.URL, QueryRequest{Doc: "mem", Query: q1, Limit: 1})
+	r = resp.Results[0]
+	if !r.Cached || r.Count != 1 || !r.Truncated {
+		t.Fatalf("limited result not cached under its limit key: %+v", r)
+	}
+	// And the full result stays full after the limited run.
+	resp, _ = postQuery(t, ts.URL, QueryRequest{Doc: "mem", Query: q1})
+	if !sameNodes(resp.Results[0].Nodes, want1.Nodes) {
+		t.Fatal("full result corrupted by limited cache entry")
 	}
 }
 

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"staircase/internal/catalog"
+	"staircase/internal/xmark"
+)
+
+// postStream posts one query to /stream and decodes the NDJSON lines.
+func postStream(t *testing.T, url string, req QueryRequest) []StreamChunk {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	var chunks []StreamChunk
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var c StreamChunk
+		if err := dec.Decode(&c); err != nil {
+			t.Fatal(err)
+		}
+		chunks = append(chunks, c)
+	}
+	return chunks
+}
+
+func TestStreamEndpoint(t *testing.T) {
+	_, ts, ref := newTestServer(t, 1<<20)
+	const q = "/descendant::profile/descendant::education"
+	want, err := ref["mem"].EvalString(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chunks := postStream(t, ts.URL, QueryRequest{Doc: "mem", Query: q})
+	if len(chunks) == 0 {
+		t.Fatal("no stream output")
+	}
+	last := chunks[len(chunks)-1]
+	if !last.Done || last.Error != "" {
+		t.Fatalf("stream did not finish cleanly: %+v", last)
+	}
+	var got []int32
+	for _, c := range chunks[:len(chunks)-1] {
+		if c.Done || c.Error != "" {
+			t.Fatalf("unexpected mid-stream chunk: %+v", c)
+		}
+		got = append(got, c.Nodes...)
+	}
+	if !sameNodes(got, want.Nodes) {
+		t.Fatalf("stream nodes differ:\n got %v\nwant %v", got, want.Nodes)
+	}
+	if last.Count != len(want.Nodes) || last.Truncated {
+		t.Fatalf("stream summary: %+v", last)
+	}
+
+	// With a limit the stream stops at the prefix and reports
+	// truncation.
+	lim := 1
+	if len(want.Nodes) < 2 {
+		t.Fatalf("fixture query too small for limit test")
+	}
+	chunks = postStream(t, ts.URL, QueryRequest{Doc: "mem", Query: q, Limit: lim})
+	last = chunks[len(chunks)-1]
+	var limGot []int32
+	for _, c := range chunks[:len(chunks)-1] {
+		limGot = append(limGot, c.Nodes...)
+	}
+	if !sameNodes(limGot, want.Nodes[:lim]) || !last.Truncated || last.Count != lim {
+		t.Fatalf("limited stream: got %v, summary %+v", limGot, last)
+	}
+
+	// Malformed: batch shapes are rejected.
+	body, _ := json.Marshal(QueryRequest{Doc: "mem", Queries: []string{q, q}})
+	resp, err := http.Post(ts.URL+"/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("batch stream accepted: %d", resp.StatusCode)
+	}
+}
+
+// TestCancelledQueryReleasesWorkerSlot: a long-running query whose
+// client goes away must stop between batches and give its
+// worker-semaphore units back — the request context propagates into
+// plan execution.
+func TestCancelledQueryReleasesWorkerSlot(t *testing.T) {
+	cat := catalog.New(0)
+	d, err := xmark.Generate(xmark.Config{SizeMB: 16, Seed: 3, KeepValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddDocument("big", d); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Catalog: cat, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// ~1s+ of per-node predicate evaluation over ~340k nodes; the
+	// executor checks the context between predicate blocks.
+	const slowQ = "//*[not(descendant::text() = 'a')][not(descendant::text() = 'b')]" +
+		"[not(descendant::text() = 'c')][not(descendant::text() = 'd')]"
+
+	body, _ := json.Marshal(QueryRequest{Doc: "big", Query: slowQ, NoCache: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	start := time.Now()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+	// The client-side request fails with the cancellation; the server
+	// side must notice, abandon the evaluation and drain the pool.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.pool.inUse() == 0 && s.cancels.Load() >= 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.pool.inUse(); got != 0 {
+		t.Fatalf("cancelled query still holds %d worker units", got)
+	}
+	if s.cancels.Load() < 1 {
+		t.Fatalf("server never recorded the cancellation (query ran to completion?)")
+	}
+	if elapsed := time.Since(start); elapsed > 1200*time.Millisecond {
+		t.Fatalf("cancellation took %v; evaluation was not interrupted", elapsed)
+	}
+}

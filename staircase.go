@@ -31,6 +31,22 @@
 // with equal canonical strings compute identical results, which is
 // what the query server keys its result cache on.
 //
+// # Streaming
+//
+// Plans also execute through a cursor/batch streaming executor with
+// early termination: Plan.RunLimit stops after the first k results
+// (the staircase kernels suspend mid-partition and never scan the
+// rest), and Plan.Cursor iterates the full result in bounded
+// document-ordered batches:
+//
+//	top, err := p.RunLimit(10)      // first 10 results only
+//	cur, err := p.Cursor()          // bounded-memory iteration
+//	for {
+//		batch, err := cur.Next()
+//		if err != nil || batch == nil { break }
+//		...
+//	}
+//
 // # Serving
 //
 // NewCatalog and NewServer expose the multi-document HTTP query
@@ -51,6 +67,7 @@ package staircase
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -59,6 +76,7 @@ import (
 
 	"staircase/internal/doc"
 	"staircase/internal/engine"
+	"staircase/internal/plan"
 )
 
 // Document is an immutable pre/post encoded document (or collection)
@@ -238,6 +256,65 @@ func (p *Plan) Run() (*Result, error) { return p.p.Run() }
 func (p *Plan) RunFrom(context []int32) (*Result, error) {
 	return p.p.RunContext(normalizeContext(context))
 }
+
+// RunLimit executes the plan through the streaming cursor executor
+// and stops after limit result nodes. The staircase kernels suspend
+// as soon as the limit is reached, so `[1]`-style probes, existence
+// checks and top-k clients never pay for the full result.
+// Result.Nodes is a prefix of Run's nodes; Result.Truncated reports
+// whether further results may exist. limit <= 0 evaluates fully.
+func (p *Plan) RunLimit(limit int) (*Result, error) {
+	return p.p.EvalLimit(context.Background(), limit)
+}
+
+// RunLimitContext is RunLimit with cancellation: the execution checks
+// ctx between batches and stops early when it is cancelled.
+func (p *Plan) RunLimitContext(ctx context.Context, limit int) (*Result, error) {
+	return p.p.EvalLimit(ctx, limit)
+}
+
+// Cursor opens a streaming execution of the plan from the document
+// root: an iterator over the result sequence in document-ordered
+// batches with bounded memory. The cursor is single-use and not safe
+// for concurrent use; the Plan itself stays shareable.
+func (p *Plan) Cursor() (*Cursor, error) {
+	return p.CursorContext(context.Background())
+}
+
+// CursorContext is Cursor with cancellation.
+func (p *Plan) CursorContext(ctx context.Context) (*Cursor, error) {
+	rc, err := p.p.Cursor(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{rc: rc}, nil
+}
+
+// Cursor is an open streaming plan execution: repeated Next calls
+// yield the result sequence in document-ordered batches; stopping
+// early (Close without draining) leaves the skipped document regions
+// unscanned.
+type Cursor struct {
+	rc *plan.RunCursor
+}
+
+// Next returns the next batch of result nodes (preorder ranks,
+// strictly increasing, valid until the following Next call), or nil
+// once the result is exhausted.
+func (c *Cursor) Next() ([]int32, error) { return c.rc.Next() }
+
+// Seek hints that the caller will ignore result nodes with preorder
+// ranks below pre: subsequent batches may omit them, and the
+// underlying staircase kernels jump their scans (or binary-search
+// their index fragments) forward instead of producing them.
+func (c *Cursor) Seek(pre int32) { c.rc.Seek(pre) }
+
+// Exhausted reports whether the cursor delivered its complete result.
+func (c *Cursor) Exhausted() bool { return c.rc.Exhausted() }
+
+// Close releases the cursor. Idempotent; draining Next to nil closes
+// implicitly.
+func (c *Cursor) Close() { c.rc.Close() }
 
 // normalizeContext sorts and deduplicates a caller-provided context
 // without mutating the caller's slice.
