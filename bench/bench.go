@@ -48,12 +48,18 @@ var Parallelism int
 // Corpus generates and caches sweep documents so experiments share
 // them. Safe for concurrent use.
 type Corpus struct {
-	mu   sync.Mutex
-	docs map[float64]*doc.Document
+	mu    sync.Mutex
+	docs  map[float64]*doc.Document
+	vdocs map[float64]*doc.Document
 }
 
 // NewCorpus returns an empty corpus.
-func NewCorpus() *Corpus { return &Corpus{docs: make(map[float64]*doc.Document)} }
+func NewCorpus() *Corpus {
+	return &Corpus{
+		docs:  make(map[float64]*doc.Document),
+		vdocs: make(map[float64]*doc.Document),
+	}
+}
 
 // Doc returns the cached document of the given size, generating it on
 // first use (seed fixed at 42 for reproducibility, values dropped).
@@ -68,6 +74,24 @@ func (c *Corpus) Doc(mb float64) *doc.Document {
 		panic(fmt.Sprintf("bench: generate %g MB: %v", mb, err))
 	}
 	c.docs[mb] = d
+	return d
+}
+
+// ValueDoc returns the cached document of the given size with text and
+// attribute values retained (same seed and structure as Doc) — the
+// corpus of the value-index experiments, kept separate because value
+// retention roughly doubles the per-document memory.
+func (c *Corpus) ValueDoc(mb float64) *doc.Document {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.vdocs[mb]; ok {
+		return d
+	}
+	d, err := xmark.Generate(xmark.Config{SizeMB: mb, Seed: 42, KeepValues: true})
+	if err != nil {
+		panic(fmt.Sprintf("bench: generate %g MB with values: %v", mb, err))
+	}
+	c.vdocs[mb] = d
 	return d
 }
 

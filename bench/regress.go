@@ -3,10 +3,13 @@
 // committed baseline (BENCH_baseline.json). The family covers the four
 // partitioning-axis joins, full Q1/Q2 engine evaluation, the
 // tag/kind-index hot path (warm index-backed pushdown, the cold rescan
-// baseline, and the index build itself), plan compilation, and the
-// query server's warm plan-cache request path, i.e. the hot paths
-// every perf-oriented PR touches. cmd/benchrun drives it via -gate /
-// -write-baseline and publishes the full Compare record for CI.
+// baseline, and the index build itself), the value-index hot path
+// (warm value-fragment semijoin, the per-node re-evaluation baseline,
+// the value-index build, and top-1 contains() latency), plan
+// compilation, and the query server's warm plan-cache request path,
+// i.e. the hot paths every perf-oriented PR touches. cmd/benchrun
+// drives it via -gate / -write-baseline and publishes the full Compare
+// record for CI.
 package bench
 
 import (
@@ -60,6 +63,29 @@ func smokeFamily(c *Corpus) []struct {
 			}
 		}
 	}
+	// The value-index family runs over the values-retained twin of the
+	// smoke document (Doc drops values; value predicates need them).
+	vd := c.ValueDoc(smokeSizeMB)
+	ve := engine.New(vd)
+	vd.TagIndex()
+	vd.ValueIndex() // warm so the Warm run measures steady state
+	// Value benchmarks run prepared plans (the server's steady state):
+	// the warm plan materialises its value fragment once, so per-op
+	// time is the semijoin probes, not the B-tree range scan.
+	evalV := func(q string, opts *engine.Options) func(b *testing.B) {
+		return func(b *testing.B) {
+			p, err := ve.PrepareString(q, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
 	return []struct {
 		name string
 		fn   func(b *testing.B)
@@ -91,6 +117,38 @@ func smokeFamily(c *Corpus) []struct {
 		// behaviour every fresh engine/doc-load used to pay.
 		{"EnginePushdownWarm", evalQ(Q1, &engine.Options{Pushdown: engine.PushAlways})},
 		{"EnginePushdownCold", evalQ(Q1, &engine.Options{Pushdown: engine.PushAlways, NoIndex: true})},
+		// The value-index hot path: warm = pre-sorted fragments from the
+		// string/numeric value B-trees semijoined against the context;
+		// rescan = Options.NoValueIndex, the predicate sub-plan running
+		// once per candidate node.
+		{"ValuePushdownWarm", evalV(QValueRange, nil)},
+		{"ValuePushdownRescan", evalV(QValueRange, &engine.Options{NoValueIndex: true})},
+		{"ValueIndexBuild", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if vd.RebuildValueIndex() == nil {
+					b.Fatal("value index build returned nil")
+				}
+			}
+		}},
+		// Top-1 contains(): first-result latency through the streaming
+		// executor with the substring fragment feeding the semijoin.
+		{"ContainsFirstResult", func(b *testing.B) {
+			p, err := ve.PrepareString(QValueContains, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := p.EvalLimit(ctx, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Nodes) != 1 {
+					b.Fatal("no first result")
+				}
+			}
+		}},
 		{"IndexBuild", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ix := index.Build(d.KindSlice(), d.NameSlice(), d.Names().Len(), doc.NumKinds, doc.Elem)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|index|parallel|copyscan|mpmgjn|storage|server|stream]
+//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|index|value|parallel|copyscan|mpmgjn|storage|server|stream]
 //	         [-sizes 0.5,1,2,4] [-parallel-size 4] [-workers 1,2,4,8] [-clients 1,2,4,8]
 //	         [-parallel N] [-out file] [-json]
 //
@@ -25,9 +25,12 @@
 //	         [-gate-out current.json] [-compare-out compare.json]
 //
 // The gate measures the staircase-join benchmark family (the four
-// partitioning-axis joins, Q1/Q2 engine evaluation, and the tag/kind
+// partitioning-axis joins, Q1/Q2 engine evaluation, the tag/kind
 // index family: warm index-backed pushdown, the cold rescan baseline,
-// and index construction), takes the fastest ns/op of -gate-runs runs
+// and index construction, and the value-index family: warm value
+// fragment semijoin, the per-node re-evaluation baseline, value-index
+// construction, and top-1 contains() latency), takes the fastest
+// ns/op of -gate-runs runs
 // per benchmark, normalises for the speed difference between the
 // baseline host and this host (the family-median ratio), and exits
 // non-zero if any benchmark regresses by more than -gate-tol versus
@@ -216,6 +219,7 @@ func main() {
 		"window":   func() bench.Table { return bench.Window(c, sizes) },
 		"frag":     func() bench.Table { return bench.Fragmentation(c, sizes) },
 		"index":    func() bench.Table { return bench.IndexPushdown(c, sizes) },
+		"value":    func() bench.Table { return bench.ValuePushdown(c, sizes) },
 		"parallel": func() bench.Table { return bench.Parallel(c, *parSize, workers) },
 		"copyscan": func() bench.Table { return bench.CopyVsScan(c, sizes) },
 		"mpmgjn":   func() bench.Table { return bench.MPMGJN(c, sizes) },
@@ -224,7 +228,7 @@ func main() {
 		"stream":   func() bench.Table { return bench.Stream(c, sizes) },
 	}
 	order := []string{"table1", "fig3", "fig11a", "fig11b", "fig11c", "fig11d",
-		"fig11e", "fig11f", "window", "frag", "index", "parallel", "copyscan", "mpmgjn", "storage", "server", "stream"}
+		"fig11e", "fig11f", "window", "frag", "index", "value", "parallel", "copyscan", "mpmgjn", "storage", "server", "stream"}
 
 	emitJSON := func(tables []bench.Table) {
 		enc := json.NewEncoder(w)

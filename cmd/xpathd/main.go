@@ -82,6 +82,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker budget for query evaluation (0 = GOMAXPROCS)")
 	parallel := flag.Int("parallel", 0, "default staircase-join parallelism per query (0/1 serial, -1 all cores)")
 	useIndex := flag.Bool("index", true, "keep the shared tag/kind index resident per document (false: per-query column rescans; results identical)")
+	useVIndex := flag.Bool("value-index", true, "keep the value index resident per document (false: value predicates re-evaluate per node; results identical)")
 	flag.Parse()
 
 	if len(docs) == 0 && len(gens) == 0 {
@@ -92,6 +93,9 @@ func main() {
 	var catOpts []staircase.CatalogOption
 	if !*useIndex {
 		catOpts = append(catOpts, staircase.WithoutIndex())
+	}
+	if !*useVIndex {
+		catOpts = append(catOpts, staircase.WithoutValueIndex())
 	}
 	cat := staircase.NewCatalog(*catalogMB<<20, catOpts...)
 	for _, kv := range docs {
@@ -123,6 +127,7 @@ func main() {
 		Workers:            *workers,
 		DefaultParallelism: *parallel,
 		NoIndex:            !*useIndex,
+		NoValueIndex:       !*useVIndex,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -51,6 +51,7 @@ func main() {
 	limit := flag.Int("limit", 20, "max result nodes to print (0 = all)")
 	parallel := flag.Int("parallel", 0, "staircase-join workers: 0/1 = serial, N > 1 = up to N workers, -1 = GOMAXPROCS")
 	useIndex := flag.Bool("index", true, "use the shared tag/kind index for name-test pushdown (false: per-step column rescan; results identical)")
+	useVIndex := flag.Bool("value-index", true, "use the value index for comparison and contains() predicates (false: per-node re-evaluation; results identical)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -82,7 +83,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := &staircase.Options{Strategy: strat, Pushdown: push, Parallelism: *parallel, NoIndex: !*useIndex}
+	opts := &staircase.Options{Strategy: strat, Pushdown: push, Parallelism: *parallel, NoIndex: !*useIndex, NoValueIndex: !*useVIndex}
 	if *explain {
 		var out []byte
 		if *asJSON {

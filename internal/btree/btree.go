@@ -12,7 +12,14 @@
 //
 // The tree is built bottom-up from sorted input (bulk loading, the way
 // a document-order index is created at load time) and also supports
-// incremental insertion.
+// incremental insertion. Beyond the SQL baseline, the value index
+// (internal/vindex) bulk-loads rank→pre trees from it and serves
+// range lookups through Seek/Scan.
+//
+// The zero Tree value is an empty tree ready for use: Seek, Scan,
+// Count, Len, Depth and Validate treat it as empty, and Insert
+// establishes the root lazily. New only differs in attaching a Stats
+// counter.
 package btree
 
 import (
@@ -184,6 +191,10 @@ func firstKey(n *node) Key {
 
 // Insert adds an entry. Duplicate keys are permitted.
 func (t *Tree) Insert(k Key, v int32) {
+	if t.root == nil { // zero-value Tree
+		t.root = &node{leaf: true}
+		t.depth = 1
+	}
 	nk, nc := t.insert(t.root, k, v)
 	if nc != nil {
 		t.root = &node{keys: []Key{nk}, children: []*node{t.root, nc}}
@@ -252,11 +263,16 @@ type Iterator struct {
 }
 
 // Seek positions an iterator at the first entry with key >= lower.
+// On an empty (or zero-value) tree the returned iterator is immediately
+// invalid.
 func (t *Tree) Seek(lower Key) *Iterator {
 	if t.stats != nil {
 		atomic.AddInt64(&t.stats.Seeks, 1)
 	}
 	n := t.root
+	if n == nil { // zero-value Tree: no root was ever allocated
+		return &Iterator{t: t, done: true}
+	}
 	for {
 		if t.stats != nil {
 			atomic.AddInt64(&t.stats.NodesVisited, 1)
@@ -293,11 +309,23 @@ func (it *Iterator) skipToData() {
 // Valid reports whether the iterator currently points at an entry.
 func (it *Iterator) Valid() bool { return !it.done }
 
-// Key returns the current entry's key. Valid() must hold.
-func (it *Iterator) Key() Key { return it.n.keys[it.pos] }
+// Key returns the current entry's key, or the zero Key when the
+// iterator is exhausted.
+func (it *Iterator) Key() Key {
+	if it.done {
+		return Key{}
+	}
+	return it.n.keys[it.pos]
+}
 
-// Value returns the current entry's value. Valid() must hold.
-func (it *Iterator) Value() int32 { return it.n.vals[it.pos] }
+// Value returns the current entry's value, or 0 when the iterator is
+// exhausted.
+func (it *Iterator) Value() int32 {
+	if it.done {
+		return 0
+	}
+	return it.n.vals[it.pos]
+}
 
 // Next advances to the following entry in key order.
 func (it *Iterator) Next() {
@@ -338,11 +366,19 @@ func (t *Tree) Count(lower, upper Key) int {
 // Validate checks B+-tree structural invariants (key ordering, leaf
 // chain consistency, entry count). For tests.
 func (t *Tree) Validate() error {
+	if t.root == nil { // zero-value Tree
+		if t.size != 0 {
+			return fmt.Errorf("btree: nil root but size %d", t.size)
+		}
+		return nil
+	}
 	count := 0
 	var prev *Key
+	var leaves []*node // left-to-right leaf order, for the chain check
 	var walk func(n *node, lo, hi *Key) error
 	walk = func(n *node, lo, hi *Key) error {
 		if n.leaf {
+			leaves = append(leaves, n)
 			for i, k := range n.keys {
 				if lo != nil && k.Less(*lo) {
 					return fmt.Errorf("btree: leaf key %v below bound %v", k, *lo)
@@ -388,6 +424,19 @@ func (t *Tree) Validate() error {
 	}
 	if count != t.size {
 		return fmt.Errorf("btree: size %d but %d reachable entries", t.size, count)
+	}
+	// The leaf chain must link exactly the tree's leaves, in
+	// left-to-right order, and terminate — a broken chain would make
+	// range scans skip or repeat entries even when per-node ordering
+	// holds.
+	for i, lf := range leaves {
+		var want *node
+		if i+1 < len(leaves) {
+			want = leaves[i+1]
+		}
+		if lf.next != want {
+			return fmt.Errorf("btree: leaf chain broken after leaf %d of %d", i, len(leaves))
+		}
 	}
 	return nil
 }

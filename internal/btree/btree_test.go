@@ -205,6 +205,110 @@ func TestPropInsertMatchesSortedReference(t *testing.T) {
 	}
 }
 
+func TestZeroValueTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 || tr.Depth() != 0 {
+		t.Fatalf("zero tree Len=%d Depth=%d", tr.Len(), tr.Depth())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	it := tr.Seek(MinKey)
+	if it.Valid() {
+		t.Fatal("zero tree iterator is valid")
+	}
+	if it.Key() != (Key{}) || it.Value() != 0 {
+		t.Fatal("exhausted iterator Key/Value not zero")
+	}
+	if got := tr.Count(MinKey, MaxKey); got != 0 {
+		t.Fatalf("zero tree Count = %d", got)
+	}
+	tr.Scan(MinKey, MaxKey, func(Key, int32) bool { t.Fatal("zero tree scan visited an entry"); return false })
+	tr.Insert(Key{1, 0, 0}, 7)
+	if tr.Len() != 1 || tr.Depth() != 1 {
+		t.Fatalf("after insert Len=%d Depth=%d", tr.Len(), tr.Depth())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustedIteratorSafe(t *testing.T) {
+	tr := BulkLoad([]Key{{1, 0, 0}}, []int32{9}, nil)
+	it := tr.Seek(Key{2, 0, 0})
+	if it.Valid() {
+		t.Fatal("Seek past end valid")
+	}
+	if it.Key() != (Key{}) || it.Value() != 0 {
+		t.Fatal("exhausted iterator Key/Value not zero")
+	}
+	it.Next() // advancing an exhausted iterator must be a no-op
+	if it.Valid() {
+		t.Fatal("exhausted iterator became valid")
+	}
+}
+
+// TestEdgeCaseRanges drives Count over trees and bounds chosen to hit
+// the boundary conditions: empty trees, duplicate runs crossing leaf
+// boundaries, and ranges delimited by MinKey/MaxKey sentinels.
+func TestEdgeCaseRanges(t *testing.T) {
+	dupRun := make([]Key, 3*order) // one key repeated across >2 leaves
+	for i := range dupRun {
+		dupRun[i] = Key{A: 5}
+	}
+	mixed := []Key{{1, 0, 0}, {1, 0, 0}, {2, 0, 0}, {2, 1, 0}, {2, 1, 1}, {9, 0, 0}}
+	cases := []struct {
+		name   string
+		keys   []Key
+		lo, hi Key
+		want   int
+	}{
+		{"empty/full-range", nil, MinKey, MaxKey, 0},
+		{"empty/point", nil, Key{1, 0, 0}, Key{1, 0, 0}, 0},
+		{"dup-run/all", dupRun, MinKey, MaxKey, 3 * order},
+		{"dup-run/point", dupRun, Key{A: 5}, Key{A: 5}, 3 * order},
+		{"dup-run/below", dupRun, MinKey, Key{A: 4, B: 1<<31 - 1, C: 1<<31 - 1}, 0},
+		{"dup-run/above", dupRun, Key{A: 6}, MaxKey, 0},
+		{"mixed/inclusive-both-ends", mixed, Key{1, 0, 0}, Key{9, 0, 0}, 6},
+		{"mixed/exclusive-above-lo", mixed, Key{1, 0, 1}, Key{9, 0, 0}, 4},
+		{"mixed/prefix-bound", mixed, Key{2, 0, 0}, Key{2, 1, 0}, 2},
+		{"mixed/min-sentinel-lo", mixed, MinKey, Key{1, 0, 0}, 2},
+		{"mixed/max-sentinel-hi", mixed, Key{9, 0, 0}, MaxKey, 1},
+		{"mixed/inverted", mixed, Key{9, 0, 0}, Key{1, 0, 0}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			vals := make([]int32, len(c.keys))
+			tr := BulkLoad(c.keys, vals, nil)
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := tr.Count(c.lo, c.hi); got != c.want {
+				t.Fatalf("Count(%v, %v) = %d, want %d", c.lo, c.hi, got, c.want)
+			}
+		})
+	}
+}
+
+// TestInsertSplitsKeepLeafChain grows a tree through repeated splits
+// and checks the leaf chain (walked by Validate) and scan order after
+// every growth spurt.
+func TestInsertSplitsKeepLeafChain(t *testing.T) {
+	tr := New(nil)
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 4*order*order; n *= 4 {
+		for tr.Len() < n {
+			tr.Insert(Key{A: int32(rng.Intn(97)), B: int32(tr.Len())}, int32(tr.Len()))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("after %d inserts: %v", tr.Len(), err)
+		}
+	}
+	if tr.Depth() < 3 {
+		t.Fatalf("depth = %d, want >= 3 after %d inserts", tr.Depth(), tr.Len())
+	}
+}
+
 func TestPropRangeScanMatchesFilter(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	n := 3000

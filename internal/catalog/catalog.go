@@ -16,7 +16,10 @@
 // the document's shared tag/kind index (doc.TagIndex) is resident —
 // deserialized from the SCJ2 index section when present, built with
 // one O(n) pass otherwise — so queries never pay a name-column rescan,
-// no matter how many engines or reloads the entry sees.
+// no matter how many engines or reloads the entry sees. The value
+// index (doc.ValueIndex, serving comparison and contains() predicates)
+// is handled the same way for documents that carry values, unless
+// disabled with WithoutValueIndex.
 //
 // Residency is bounded: when the encoded bytes of loaded documents
 // (structural columns plus their tag/kind index) exceed the budget,
@@ -74,20 +77,21 @@ func (f Format) String() string {
 // DocInfo is a point-in-time snapshot of one catalog entry, served by
 // the server's GET /docs endpoint.
 type DocInfo struct {
-	Name       string        `json:"name"`
-	Path       string        `json:"path,omitempty"`
-	Format     string        `json:"format"`
-	Resident   bool          `json:"resident"`
-	Pinned     bool          `json:"pinned"`
-	Generation uint64        `json:"generation"`
-	Bytes      int64         `json:"bytes,omitempty"`
-	IndexBytes int64         `json:"indexBytes,omitempty"`
-	Nodes      int           `json:"nodes,omitempty"`
-	Height     int32         `json:"height,omitempty"`
-	Loads      int64         `json:"loads"`
-	Evictions  int64         `json:"evictions"`
-	Queries    int64         `json:"queries"`
-	EvalTime   time.Duration `json:"evalTimeNs"`
+	Name        string        `json:"name"`
+	Path        string        `json:"path,omitempty"`
+	Format      string        `json:"format"`
+	Resident    bool          `json:"resident"`
+	Pinned      bool          `json:"pinned"`
+	Generation  uint64        `json:"generation"`
+	Bytes       int64         `json:"bytes,omitempty"`
+	IndexBytes  int64         `json:"indexBytes,omitempty"`
+	VIndexBytes int64         `json:"valueIndexBytes,omitempty"`
+	Nodes       int           `json:"nodes,omitempty"`
+	Height      int32         `json:"height,omitempty"`
+	Loads       int64         `json:"loads"`
+	Evictions   int64         `json:"evictions"`
+	Queries     int64         `json:"queries"`
+	EvalTime    time.Duration `json:"evalTimeNs"`
 }
 
 // entry is one named document. All mutable fields are guarded by the
@@ -106,8 +110,9 @@ type entry struct {
 	d         *doc.Document
 	eng       *engine.Engine
 	gen       uint64 // bumped on every load
-	bytes     int64  // resident footprint: encoding + index
+	bytes     int64  // resident footprint: encoding + indexes
 	idxBytes  int64  // tag/kind index share of bytes
+	vidxBytes int64  // value index share of bytes
 	refs      int
 	lastUse   int64
 	loads     int64
@@ -125,6 +130,7 @@ type Catalog struct {
 	resident int64
 	clock    int64
 	noIndex  bool
+	noVIndex bool
 }
 
 // Option configures a Catalog.
@@ -137,6 +143,14 @@ type Option func(*Catalog)
 // xpathd -index=false flag.
 func WithoutIndex() Option {
 	return func(c *Catalog) { c.noIndex = true }
+}
+
+// WithoutValueIndex disables eager value-index residency: loads skip
+// the build, so value predicates fall back to per-node evaluation
+// unless a query builds the index lazily. Ablation/operations knob —
+// the xpathd -value-index=false flag.
+func WithoutValueIndex() Option {
+	return func(c *Catalog) { c.noVIndex = true }
 }
 
 // New returns an empty catalog. maxBytes bounds the total resident
@@ -183,6 +197,11 @@ func (c *Catalog) AddDocument(name string, d *doc.Document) error {
 		e.idxBytes = d.TagIndex().Bytes()
 		e.bytes += e.idxBytes
 	}
+	if !c.noVIndex && d.HasValues() {
+		d.ValueIndex()
+		e.vidxBytes = d.ValueIndexBytes()
+		e.bytes += e.vidxBytes
+	}
 	c.entries[name] = e
 	return nil
 }
@@ -219,6 +238,7 @@ func (c *Catalog) Open(name string) (*Handle, error) {
 	if e.d == nil {
 		path, format := e.path, e.format
 		buildIndex := !c.noIndex
+		buildVIndex := !c.noVIndex
 		c.mu.Unlock()
 		d, format, err := loadDocument(path, format)
 		if err == nil && buildIndex {
@@ -226,6 +246,11 @@ func (c *Catalog) Open(name string) (*Handle, error) {
 			// live: an SCJ2 file already carries it, anything else builds
 			// it here, once — queries never pay the rescan.
 			d.TagIndex()
+		}
+		if err == nil && buildVIndex && d.HasValues() {
+			// Same for the value index (SCJ2 value-index section, or
+			// one build pass over the value columns).
+			d.ValueIndex()
 		}
 		c.mu.Lock()
 		if err != nil {
@@ -240,7 +265,8 @@ func (c *Catalog) Open(name string) (*Handle, error) {
 		e.gen++
 		e.loads++
 		e.idxBytes = d.IndexBytes()
-		e.bytes = d.EncodedBytes() + e.idxBytes
+		e.vidxBytes = d.ValueIndexBytes()
+		e.bytes = d.EncodedBytes() + e.idxBytes + e.vidxBytes
 		c.resident += e.bytes
 	}
 	h := &Handle{c: c, e: e, d: e.d, eng: e.eng, gen: e.gen}
@@ -314,6 +340,7 @@ func (c *Catalog) evict() {
 		c.resident -= victim.bytes
 		victim.bytes = 0
 		victim.idxBytes = 0
+		victim.vidxBytes = 0
 	}
 }
 
@@ -354,6 +381,20 @@ func (c *Catalog) IndexBytes() int64 {
 	return total
 }
 
+// ValueIndexBytes returns the value-index share of ResidentBytes, with
+// the same budget-tracked scope as IndexBytes.
+func (c *Catalog) ValueIndexBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, e := range c.entries {
+		if !e.pinned {
+			total += e.vidxBytes
+		}
+	}
+	return total
+}
+
 // Info snapshots every entry's statistics, sorted by name.
 func (c *Catalog) Info() []DocInfo {
 	c.mu.Lock()
@@ -365,18 +406,19 @@ func (c *Catalog) Info() []DocInfo {
 			format = "memory"
 		}
 		info := DocInfo{
-			Name:       e.name,
-			Path:       e.path,
-			Format:     format,
-			Resident:   e.d != nil,
-			Pinned:     e.pinned,
-			Generation: e.gen,
-			Bytes:      e.bytes,
-			IndexBytes: e.idxBytes,
-			Loads:      e.loads,
-			Evictions:  e.evictions,
-			Queries:    e.queries,
-			EvalTime:   time.Duration(e.evalTime),
+			Name:        e.name,
+			Path:        e.path,
+			Format:      format,
+			Resident:    e.d != nil,
+			Pinned:      e.pinned,
+			Generation:  e.gen,
+			Bytes:       e.bytes,
+			IndexBytes:  e.idxBytes,
+			VIndexBytes: e.vidxBytes,
+			Loads:       e.loads,
+			Evictions:   e.evictions,
+			Queries:     e.queries,
+			EvalTime:    time.Duration(e.evalTime),
 		}
 		if e.d != nil {
 			info.Nodes = e.d.Size()

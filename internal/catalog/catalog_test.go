@@ -281,11 +281,22 @@ func TestIndexResidencyAccounting(t *testing.T) {
 			if got := c.IndexBytes(); got != wantIdx {
 				t.Fatalf("catalog IndexBytes = %d, want %d", got, wantIdx)
 			}
-			if got, want := c.ResidentBytes(), d.EncodedBytes()+wantIdx; got != want {
-				t.Fatalf("ResidentBytes = %d, want encoding+index = %d", got, want)
+			if !d.ValueIndexBuilt() {
+				t.Fatal("value index not resident after load")
+			}
+			wantVIdx := d.ValueIndexBytes()
+			if wantVIdx <= 0 {
+				t.Fatal("ValueIndexBytes = 0 for a resident value index")
+			}
+			if got := c.ValueIndexBytes(); got != wantVIdx {
+				t.Fatalf("catalog ValueIndexBytes = %d, want %d", got, wantVIdx)
+			}
+			if got, want := c.ResidentBytes(), d.EncodedBytes()+wantIdx+wantVIdx; got != want {
+				t.Fatalf("ResidentBytes = %d, want encoding+indexes = %d", got, want)
 			}
 			info := c.Info()
-			if len(info) != 1 || info[0].IndexBytes != wantIdx || info[0].Bytes != d.EncodedBytes()+wantIdx {
+			if len(info) != 1 || info[0].IndexBytes != wantIdx || info[0].VIndexBytes != wantVIdx ||
+				info[0].Bytes != d.EncodedBytes()+wantIdx+wantVIdx {
 				t.Fatalf("info = %+v", info[0])
 			}
 		})
@@ -308,7 +319,28 @@ func TestWithoutIndexSkipsBuild(t *testing.T) {
 	if c.IndexBytes() != 0 {
 		t.Fatalf("IndexBytes = %d, want 0", c.IndexBytes())
 	}
-	if got, want := c.ResidentBytes(), h.Document().EncodedBytes(); got != want {
+	if got, want := c.ResidentBytes(), h.Document().EncodedBytes()+h.Document().ValueIndexBytes(); got != want {
+		t.Fatalf("ResidentBytes = %d, want %d", got, want)
+	}
+}
+
+func TestWithoutValueIndexSkipsBuild(t *testing.T) {
+	c := New(0, WithoutValueIndex())
+	if err := c.Register("d", writeXML(t, "d.xml"), FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.Document().ValueIndexBuilt() {
+		t.Fatal("WithoutValueIndex catalog built the value index at load")
+	}
+	if c.ValueIndexBytes() != 0 {
+		t.Fatalf("ValueIndexBytes = %d, want 0", c.ValueIndexBytes())
+	}
+	if got, want := c.ResidentBytes(), h.Document().EncodedBytes()+h.Document().IndexBytes(); got != want {
 		t.Fatalf("ResidentBytes = %d, want %d", got, want)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"staircase/internal/index"
+	"staircase/internal/vindex"
 )
 
 // Binary persistence of the pre/post encoding. Shredding a large
@@ -25,6 +26,7 @@ import (
 //	dict: count u32, then per name: len u32 + bytes
 //	values (flag bit 0): per node: len u32 + bytes
 //	index (flag bit 1): the tag/kind node index, see index.WriteSection
+//	value index (flag bit 2): the value index, see vindex.WriteSection
 //
 // Version 2 adds the optional index section: the per-tag and per-kind
 // node lists of internal/index, persisted so a document loads with its
@@ -34,6 +36,12 @@ import (
 // WriteBinary always writes the current version; WriteBinaryV1 keeps
 // the ability to produce v1 files for compatibility tests and older
 // readers.
+//
+// Value-bearing v2 documents additionally carry the value index
+// section (flag bit 2, after the index section), so comparison and
+// contains() predicates load with their value fragments ready. Files
+// without it — including every file an older writer produced — still
+// load; their value index is built in memory on first use.
 const (
 	binaryMagicV1 = "SCJ1"
 	binaryMagicV2 = "SCJ2"
@@ -42,6 +50,7 @@ const (
 const (
 	flagHasValues = 1 << 0
 	flagHasIndex  = 1 << 1 // v2 only
+	flagHasVIndex = 1 << 2 // v2 only, requires flagHasValues
 )
 
 // WriteBinary serializes the encoded document in the current (SCJ2)
@@ -72,6 +81,9 @@ func (d *Document) writeBinary(w io.Writer, version int) error {
 	}
 	if version == 2 {
 		flags |= flagHasIndex
+		if d.value != nil {
+			flags |= flagHasVIndex
+		}
 	}
 	n := uint32(len(d.post))
 	for _, v := range []uint32{flags, n, uint32(d.height)} {
@@ -112,6 +124,11 @@ func (d *Document) writeBinary(w io.Writer, version int) error {
 	}
 	if flags&flagHasIndex != 0 {
 		if err := d.TagIndex().WriteSection(bw); err != nil {
+			return err
+		}
+	}
+	if flags&flagHasVIndex != 0 {
+		if err := d.ValueIndex().WriteSection(bw); err != nil {
 			return err
 		}
 	}
@@ -222,10 +239,13 @@ func ReadBinary(r io.Reader) (*Document, error) {
 	}
 	known := uint32(flagHasValues)
 	if version == 2 {
-		known |= flagHasIndex
+		known |= flagHasIndex | flagHasVIndex
 	}
 	if flags&^known != 0 {
 		return nil, fmt.Errorf("doc: unknown flags %#x", flags)
+	}
+	if flags&flagHasVIndex != 0 && flags&flagHasValues == 0 {
+		return nil, fmt.Errorf("doc: value index section without node values")
 	}
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return nil, err
@@ -295,6 +315,16 @@ func ReadBinary(r io.Reader) (*Document, error) {
 		}
 		d.idx.Store(ix)
 	}
+	if flags&flagHasVIndex != 0 {
+		vix, err := vindex.ReadSection(br, int(n))
+		if err != nil {
+			return nil, fmt.Errorf("doc: corrupt value index section: %w", err)
+		}
+		if err := d.validateValueIndex(vix); err != nil {
+			return nil, fmt.Errorf("doc: corrupt value index section: %w", err)
+		}
+		d.vidx.Store(vix)
+	}
 	return d, nil
 }
 
@@ -318,6 +348,39 @@ func (d *Document) validateIndex(ix *index.Index) error {
 			if d.kind[v] != Kind(k) {
 				return fmt.Errorf("index: kind list %d contains node %d of kind %v", k, v, d.kind[v])
 			}
+		}
+	}
+	return nil
+}
+
+// validateValueIndex checks a deserialized value section against the
+// document: every keyed node's recomputed string value must equal the
+// value it is listed under, and every overflow node's value must
+// actually exceed vindex.MaxKeyLen. Combined with the structural
+// guarantees of vindex.ReadSection (sortedness, exact partition of
+// [0, n)) this pins the section to the one canonical value index of
+// the document — a corrupt section can never silently change query
+// results.
+func (d *Document) validateValueIndex(ix *vindex.Index) error {
+	var bad error
+	ix.ForEachString(func(val string, pres []int32) {
+		if bad != nil {
+			return
+		}
+		for _, v := range pres {
+			s, ok := d.boundedStringValue(v)
+			if !ok || s != val {
+				bad = fmt.Errorf("vindex: node %d keyed under %q but its string value differs", v, val)
+				return
+			}
+		}
+	})
+	if bad != nil {
+		return bad
+	}
+	for _, v := range ix.Overflow() {
+		if _, ok := d.boundedStringValue(v); ok {
+			return fmt.Errorf("vindex: node %d in overflow but its value fits a key", v)
 		}
 	}
 	return nil

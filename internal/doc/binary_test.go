@@ -151,6 +151,78 @@ func TestBinaryV2CarriesIndex(t *testing.T) {
 	}
 }
 
+func TestBinaryV2CarriesValueIndex(t *testing.T) {
+	d1, err := ShredString(figure1XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d1.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !d1.ValueIndexBuilt() {
+		t.Fatal("WriteBinary must build the value index it persists")
+	}
+	d2, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.ValueIndexBuilt() {
+		t.Fatal("v2 file of a value-bearing document must arrive with the value index attached")
+	}
+	want, got := d1.ValueIndex(), d2.ValueIndex()
+	if want.Entries() != got.Entries() || want.NumValues() != got.NumValues() {
+		t.Fatalf("persisted value index shape differs: %d/%d entries, %d/%d values",
+			got.Entries(), want.Entries(), got.NumValues(), want.NumValues())
+	}
+	if got.Entries() != int64(d2.Size()) {
+		t.Fatalf("value index covers %d of %d nodes", got.Entries(), d2.Size())
+	}
+	if d2.ValueIndexBytes() == 0 {
+		t.Fatal("ValueIndexBytes of a loaded v2 document must be non-zero")
+	}
+	// A v1 file has no section; the value index builds lazily.
+	var v1 bytes.Buffer
+	if err := d1.WriteBinaryV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := ReadBinary(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.ValueIndexBuilt() {
+		t.Fatal("v1 file must not arrive with a value index")
+	}
+	if ix := d3.ValueIndex(); ix == nil || ix.Entries() != int64(d3.Size()) {
+		t.Fatal("lazy value index incomplete")
+	}
+}
+
+func TestValueIndexNilWithoutValues(t *testing.T) {
+	b := NewBuilder(WithoutValues())
+	b.OpenElem("a")
+	b.Text("dropped")
+	b.CloseElem()
+	d, err := b.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ValueIndex() != nil {
+		t.Fatal("ValueIndex must be nil for documents built without values")
+	}
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.ValueIndexBuilt() || d2.ValueIndex() != nil {
+		t.Fatal("value-less v2 file must not carry a value index")
+	}
+}
+
 func TestReadBinaryRejectsCorruptIndexSection(t *testing.T) {
 	d, err := ShredString(figure1XML)
 	if err != nil {

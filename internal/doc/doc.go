@@ -32,6 +32,7 @@ import (
 
 	"staircase/internal/bat"
 	"staircase/internal/index"
+	"staircase/internal/vindex"
 )
 
 // Kind classifies a node in the pre/post plane.
@@ -102,6 +103,12 @@ type Document struct {
 	// serialises the build; readers go through the atomic pointer.
 	idxMu sync.Mutex
 	idx   atomic.Pointer[index.Index]
+
+	// vidx is the shared value index (internal/vindex), following the
+	// same build-once/read-lock-free discipline. Only value-bearing
+	// documents carry one.
+	vidxMu sync.Mutex
+	vidx   atomic.Pointer[vindex.Index]
 }
 
 // NumKinds is the number of node kind values, the kind-list count of
@@ -137,6 +144,98 @@ func (d *Document) IndexBuilt() bool { return d.idx.Load() != nil }
 // residency budget alongside EncodedBytes.
 func (d *Document) IndexBytes() int64 {
 	if ix := d.idx.Load(); ix != nil {
+		return ix.Bytes()
+	}
+	return 0
+}
+
+// ValueIndex returns the document's value index: every node's XPath
+// string value mapped to its pre-sorted node list, with a derived
+// numeric partition and an overflow list for values longer than
+// vindex.MaxKeyLen (see internal/vindex). Like TagIndex it is built at
+// most once per document (documents loaded from an SCJ2 file with a
+// value section arrive with it attached) and shared lock-free by every
+// engine over the document. Documents built without values return nil
+// — callers fall back to per-node evaluation.
+func (d *Document) ValueIndex() *vindex.Index {
+	if d.value == nil {
+		return nil
+	}
+	if ix := d.vidx.Load(); ix != nil {
+		return ix
+	}
+	d.vidxMu.Lock()
+	defer d.vidxMu.Unlock()
+	if ix := d.vidx.Load(); ix != nil {
+		return ix
+	}
+	ix := d.buildValueIndex()
+	d.vidx.Store(ix)
+	return ix
+}
+
+// buildValueIndex runs the document pass feeding the value index:
+// every node, in pre order, keyed by its bounded string value.
+func (d *Document) buildValueIndex() *vindex.Index {
+	var b vindex.Builder
+	for pre := range d.post {
+		if s, ok := d.boundedStringValue(int32(pre)); ok {
+			b.Add(int32(pre), s)
+		} else {
+			b.AddOverflow(int32(pre))
+		}
+	}
+	return b.Build(len(d.post))
+}
+
+// boundedStringValue returns the node's XPath string value when it is
+// at most vindex.MaxKeyLen bytes, or ("", false) when longer — element
+// text concatenation stops at the cap, so a huge container element
+// costs O(MaxKeyLen), not a copy of its subtree text.
+func (d *Document) boundedStringValue(pre int32) (string, bool) {
+	switch d.kind[pre] {
+	case Text, Attr, Comment, PI:
+		v := d.value[pre]
+		if len(v) > vindex.MaxKeyLen {
+			return "", false
+		}
+		return v, true
+	default:
+		var sb strings.Builder
+		end := pre + d.SubtreeSize(pre)
+		for v := pre + 1; v <= end; v++ {
+			if d.kind[v] == Text {
+				sb.WriteString(d.value[v])
+				if sb.Len() > vindex.MaxKeyLen {
+					return "", false
+				}
+			}
+		}
+		return sb.String(), true
+	}
+}
+
+// RebuildValueIndex builds a fresh value index from the document's
+// values without consulting or updating the shared cached one — the
+// benchmarking hook for measuring construction cost (the tag/kind
+// analogue times index.Build directly, but the value pass needs the
+// private value column). Returns nil when values were dropped.
+func (d *Document) RebuildValueIndex() *vindex.Index {
+	if d.value == nil {
+		return nil
+	}
+	return d.buildValueIndex()
+}
+
+// ValueIndexBuilt reports whether the value index has been built (or
+// loaded) yet, without triggering a build.
+func (d *Document) ValueIndexBuilt() bool { return d.vidx.Load() != nil }
+
+// ValueIndexBytes returns the in-memory footprint of the value index,
+// 0 if it has not been built. The catalog charges this against its
+// residency budget alongside EncodedBytes and IndexBytes.
+func (d *Document) ValueIndexBytes() int64 {
+	if ix := d.vidx.Load(); ix != nil {
 		return ix.Bytes()
 	}
 	return 0

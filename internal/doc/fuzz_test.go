@@ -67,6 +67,18 @@ func FuzzReadBinary(f *testing.F) {
 			mut[24] ^= 0xff
 			f.Add(mut)
 		}
+		// The index and value-index sections sit at the tail of v2
+		// encodings: seed truncations and flips landing inside them
+		// (value-bearing v2 seeds carry both sections).
+		if len(s) > 40 {
+			f.Add(s[:len(s)-7])
+			mut := bytes.Clone(s)
+			mut[len(s)-9] ^= 0xff
+			f.Add(mut)
+			mut2 := bytes.Clone(s)
+			mut2[len(s)-2] ^= 0x01
+			f.Add(mut2)
+		}
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := ReadBinary(bytes.NewReader(data))

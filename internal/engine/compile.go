@@ -45,6 +45,9 @@ func (c *Compiled) Logical() *plan.Logical { return c.logical }
 // EvalCompiled evaluates a compiled query with the document root as the
 // initial context, exactly as EvalString would for the same text.
 func (e *Engine) EvalCompiled(c *Compiled, opts *Options) (*Result, error) {
+	if opts != nil && opts.LegacyEval {
+		return e.EvalQuery(c.q, []int32{e.d.Root()}, opts)
+	}
 	p, err := e.Prepare(c, opts)
 	if err != nil {
 		return nil, err

@@ -43,6 +43,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"staircase/internal/axis"
@@ -110,6 +111,12 @@ type Options struct {
 	// scan per step (the pre-index behaviour). Results are identical;
 	// the knob exists for ablation and the rescan-baseline benchmarks.
 	NoIndex bool
+	// NoValueIndex disables the document's value index for this
+	// evaluation: comparison and contains() predicates fall back to
+	// per-node evaluation instead of value-fragment semijoins. Results
+	// are identical; the knob exists for ablation and the value-rescan
+	// benchmarks.
+	NoValueIndex bool
 	// LegacyEval bypasses the plan compiler and evaluates with the
 	// pre-plan recursive step interpreter. Results are identical — the
 	// property suite asserts plan ≡ legacy across random queries — and
@@ -121,10 +128,11 @@ type Options struct {
 // planOptions converts engine options to planner options.
 func planOptions(o *Options) *plan.Options {
 	return &plan.Options{
-		Strategy:    o.Strategy,
-		Pushdown:    o.Pushdown,
-		Parallelism: o.Parallelism,
-		NoIndex:     o.NoIndex,
+		Strategy:     o.Strategy,
+		Pushdown:     o.Pushdown,
+		Parallelism:  o.Parallelism,
+		NoIndex:      o.NoIndex,
+		NoValueIndex: o.NoValueIndex,
 	}
 }
 
@@ -537,8 +545,18 @@ func (e *Engine) predHolds(v int32, pred xpath.Predicate, opts *Options) (bool, 
 			return false, err
 		}
 		for _, n := range r.Nodes {
-			s := e.d.StringValue(n)
-			if (p.Op == xpath.OpEq && s == p.Literal) || (p.Op == xpath.OpNe && s != p.Literal) {
+			if xpath.CompareValue(e.d.StringValue(n), p.Op, p.Literal, p.Numeric) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case xpath.Contains:
+		r, err := e.Eval(p.Path, []int32{v}, opts)
+		if err != nil {
+			return false, err
+		}
+		for _, n := range r.Nodes {
+			if strings.Contains(e.d.StringValue(n), p.Literal) {
 				return true, nil
 			}
 		}

@@ -141,8 +141,14 @@ func specPred(d *doc.Document, v int32, pred xpath.Predicate, pos, size int) boo
 		return len(specEval(d, p.Path, []int32{v})) > 0
 	case xpath.Compare:
 		for _, n := range specEval(d, p.Path, []int32{v}) {
-			s := d.StringValue(n)
-			if (p.Op == xpath.OpEq && s == p.Literal) || (p.Op == xpath.OpNe && s != p.Literal) {
+			if xpath.CompareValue(d.StringValue(n), p.Op, p.Literal, p.Numeric) {
+				return true
+			}
+		}
+		return false
+	case xpath.Contains:
+		for _, n := range specEval(d, p.Path, []int32{v}) {
+			if strings.Contains(d.StringValue(n), p.Literal) {
 				return true
 			}
 		}
@@ -233,6 +239,16 @@ var fixtureQueries = []string{
 	"//person[profile and not(profile/education)]",
 	"//bidder[position()=1 or last()]",
 	"//person[name and position()=2]",
+	// Value predicates: the value-semijoin rewrite and its fallbacks.
+	"//open_auction[current > 10]",
+	"//open_auction[current < 1]/@id",
+	"//bidder[increase >= 10]",
+	"//person[@id >= 'p2']/name",
+	"//person[contains(name, 'aro')]/name",
+	"//person[profile/age > 35]", // two-step path: PredFilter, not rewritten
+	"//name[. > 'Bob']",
+	"//increase[self::node() = 5]",
+	"//person[not(@id = 'p1')][age <= 100]",
 }
 
 func TestEngineMatchesSpecOnFixture(t *testing.T) {

@@ -25,6 +25,8 @@ var goldenQueries = []struct {
 	{"q1", "/descendant::profile/descendant::education"},
 	{"q2", "/descendant::increase/ancestor::bidder"},
 	{"q2_rewritten", "/descendant::bidder[descendant::increase]"},
+	{"value_range", "//open_auction[current > 10]"},
+	{"value_contains", "//person[contains(name, 'aro')]/name"},
 }
 
 func TestExplainGolden(t *testing.T) {

@@ -52,6 +52,12 @@ func canonOp(sb *strings.Builder, o op) {
 	case *semiJoinOp:
 		canonOp(sb, t.in)
 		fmt.Fprintf(sb, "/semijoin(%s::%s,variant=%s)", t.existsAxis, t.frag.test, t.variant)
+	case *valueSemiJoinOp:
+		// Deliberately source-free: the same canonical string covers an
+		// index-served execution and the per-node fallback
+		// (Options.NoValueIndex, value-less documents).
+		canonOp(sb, t.in)
+		fmt.Fprintf(sb, "/valuesemijoin[%s]", t.pred)
 	case *posFilterOp:
 		canonOp(sb, t.in)
 		fmt.Fprintf(sb, "/pos(%s", t.step)

@@ -103,6 +103,13 @@ func (c *compiler) compileStep(in op, s *LogicalStep, rootIsElem bool, estIn int
 			estOut = maxInt64(estOut/2, 1)
 			continue
 		}
+		if vj, err := c.tryValueSemiJoin(cur, meta, s.Axis, pred, estOut); err != nil {
+			return nil, 0, err
+		} else if vj != nil {
+			cur = vj
+			estOut = maxInt64(estOut/2, 1)
+			continue
+		}
 		prog, err := compilePredProg(c.env, c.opts, pred)
 		if err != nil {
 			return nil, 0, err
@@ -282,6 +289,75 @@ func (c *compiler) trySemiJoin(in op, meta *stepMeta, owningAxis axis.Axis, pred
 	return sj
 }
 
+// tryValueSemiJoin applies the value-semijoin rewrite to one
+// predicate:
+//
+//	Filter(S, [axis::t op lit])  =>  ValueSemiJoin(S, axis, ValueScan(t, op, lit))
+//
+// valid for comparison ('=', '<', '<=', '>', '>=' — '!=' is not a
+// B-tree range) and contains() predicates whose path is a bare
+// relative single step on self, child, attribute or descendant(-or-
+// self), with a name, '*', text() or node() test, over an
+// attribute-free context. The rewrite applies independently of value-
+// index availability — the operator falls back to per-node evaluation
+// at execution time — so the canonical plan string stays stable
+// across Options.NoValueIndex.
+func (c *compiler) tryValueSemiJoin(in op, meta *stepMeta, owningAxis axis.Axis, pred xpath.Predicate, estIn int64) (op, error) {
+	if !c.opts.Strategy.staircase() || owningAxis == axis.Attribute || c.opts.Pushdown == PushNever {
+		return nil, nil
+	}
+	vs := &valueScan{}
+	var path xpath.Path
+	switch p := pred.(type) {
+	case xpath.Compare:
+		if p.Op == xpath.OpNe {
+			return nil, nil
+		}
+		path = p.Path
+		vs.op, vs.lit, vs.numeric = p.Op, p.Literal, p.Numeric
+	case xpath.Contains:
+		path = p.Path
+		vs.contains, vs.lit = true, p.Literal
+	default:
+		return nil, nil
+	}
+	if path.Absolute || len(path.Steps) != 1 {
+		return nil, nil
+	}
+	step := path.Steps[0]
+	if len(step.Preds) > 0 {
+		return nil, nil
+	}
+	switch step.Axis {
+	case axis.Self, axis.Child, axis.Attribute, axis.Descendant, axis.DescendantOrSelf:
+	default:
+		return nil, nil
+	}
+	switch step.Test.Kind {
+	case xpath.TestName, xpath.TestAny, xpath.TestText, xpath.TestNode:
+	default:
+		return nil, nil
+	}
+	vs.pa, vs.test = step.Axis, step.Test
+	prog, err := compilePredProg(c.env, c.opts, pred)
+	if err != nil {
+		return nil, err
+	}
+	c.add(vs)
+	vj := &valueSemiJoinOp{
+		in:   in,
+		meta: meta,
+		pred: pred.String(),
+		pa:   step.Axis,
+		scan: vs,
+		prog: prog,
+		est:  estimates{In: estIn, Out: maxInt64(estIn/2, 1)},
+	}
+	c.add(vj)
+	c.p.rewrites = append(c.p.rewrites, "value-semijoin")
+	return vj, nil
+}
+
 // inverseAxis maps each partitioning axis to its inverse.
 func inverseAxis(a axis.Axis) axis.Axis {
 	switch a {
@@ -306,6 +382,8 @@ func opEstimate(o op) int64 {
 	case *predFilterOp:
 		return t.est.Out
 	case *semiJoinOp:
+		return t.est.Out
+	case *valueSemiJoinOp:
 		return t.est.Out
 	case *posFilterOp:
 		return t.est.Out

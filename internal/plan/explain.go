@@ -17,16 +17,17 @@ import (
 
 // ExplainTree is the JSON form of an explained plan.
 type ExplainTree struct {
-	Query       string       `json:"query"`
-	Canon       string       `json:"canon"`
-	Strategy    string       `json:"strategy"`
-	Pushdown    string       `json:"pushdown"`
-	Parallelism int          `json:"parallelism,omitempty"`
-	NoIndex     bool         `json:"noIndex,omitempty"`
-	Rewrites    []string     `json:"rewrites,omitempty"`
-	Executed    bool         `json:"executed"`
-	ResultCount int          `json:"resultCount"`
-	Root        *ExplainNode `json:"root"`
+	Query        string       `json:"query"`
+	Canon        string       `json:"canon"`
+	Strategy     string       `json:"strategy"`
+	Pushdown     string       `json:"pushdown"`
+	Parallelism  int          `json:"parallelism,omitempty"`
+	NoIndex      bool         `json:"noIndex,omitempty"`
+	NoValueIndex bool         `json:"noValueIndex,omitempty"`
+	Rewrites     []string     `json:"rewrites,omitempty"`
+	Executed     bool         `json:"executed"`
+	ResultCount  int          `json:"resultCount"`
+	Root         *ExplainNode `json:"root"`
 }
 
 // ExplainNode is one operator of the JSON plan tree.
@@ -67,14 +68,15 @@ func (p *Plan) ExplainJSON(res *Result) ([]byte, error) {
 
 func (p *Plan) explainTree(res *Result) *ExplainTree {
 	t := &ExplainTree{
-		Query:       p.Query(),
-		Canon:       p.Canon(),
-		Strategy:    p.opts.Strategy.String(),
-		Pushdown:    p.opts.Pushdown.String(),
-		Parallelism: p.opts.Parallelism,
-		NoIndex:     p.opts.NoIndex,
-		Rewrites:    p.rewrites,
-		Root:        p.explainNode(p.root, res),
+		Query:        p.Query(),
+		Canon:        p.Canon(),
+		Strategy:     p.opts.Strategy.String(),
+		Pushdown:     p.opts.Pushdown.String(),
+		Parallelism:  p.opts.Parallelism,
+		NoIndex:      p.opts.NoIndex,
+		NoValueIndex: p.opts.NoValueIndex,
+		Rewrites:     p.rewrites,
+		Root:         p.explainNode(p.root, res),
 	}
 	if res != nil {
 		t.Executed = true
@@ -127,6 +129,13 @@ func (p *Plan) explainNode(o op, res *Result) *ExplainNode {
 		n.Detail = fmt.Sprintf("[%s] on inverse axis %s", t.pred, t.inv)
 		n.Variant = t.variant.String()
 		n.EstIn, n.EstOut = t.est.In, t.est.Out
+	case *valueSemiJoinOp:
+		n.Step = t.meta.ord
+		n.Detail = fmt.Sprintf("[%s] probed on axis %s", t.pred, t.pa)
+		n.EstIn, n.EstOut = t.est.In, t.est.Out
+	case *valueScan:
+		n.Detail = t.predString()
+		n.Source = p.valueSource(t)
 	case *posFilterOp:
 		n.Step = t.meta.ord
 		n.Detail = t.step.String()
@@ -181,6 +190,10 @@ func opName(o op, opts *Options) string {
 		return "PredFilter"
 	case *semiJoinOp:
 		return "SemiJoin"
+	case *valueSemiJoinOp:
+		return "ValueSemiJoin"
+	case *valueScan:
+		return "ValueScan"
 	case *posFilterOp:
 		return "PosFilter"
 	case *mergeOp:
@@ -208,6 +221,9 @@ func (p *Plan) ExplainText(res *Result) string {
 	}
 	if p.opts.NoIndex {
 		sb.WriteString(" no-index")
+	}
+	if p.opts.NoValueIndex {
+		sb.WriteString(" no-value-index")
 	}
 	sb.WriteString("\n")
 	if len(p.rewrites) > 0 {
@@ -270,6 +286,11 @@ func (p *Plan) renderOp(sb *strings.Builder, o op, res *Result, depth int) {
 		line("  operator: staircase semijoin over the %s axis (exists-semijoin rewrite, set-at-a-time)", t.inv)
 		line("  predicate filter: [%s] evaluated as fragment semijoin", t.pred)
 		card(t.est)
+	case *valueSemiJoinOp:
+		line("ValueSemiJoin (step %d)", t.meta.ord)
+		line("  operator: value semijoin, fragment probes on the %s axis (value-semijoin rewrite, set-at-a-time)", t.pa)
+		line("  predicate filter: [%s] evaluated against the value fragment", t.pred)
+		card(t.est)
 	case *posFilterOp:
 		label := fmt.Sprintf("step %d: %s", t.meta.ord, t.step)
 		if t.docNode {
@@ -281,6 +302,9 @@ func (p *Plan) renderOp(sb *strings.Builder, o op, res *Result, depth int) {
 	case *fragScan:
 		p.renderFrag(sb, t, depth, line)
 		return // leaves carry their detail on one block, no inputs
+	case *valueScan:
+		line("ValueScan (fragment %s; %s)", t.predString(), p.valueSource(t))
+		return
 	case *mergeOp:
 		line("Merge (union)")
 	}
@@ -398,6 +422,22 @@ func (p *Plan) renderParallel(t *joinOp, st *StepStats, ost *opStat, line func(s
 		line("  parallel: single chunk (%d staircase partition(s) do not split further)", st.Core.PrunedSize)
 	default:
 		line("  parallel: declined by cost model (step below %d touched nodes per worker)", int64(minParallelWork))
+	}
+}
+
+// valueSource names where a value fragment comes from in this plan's
+// configuration — the fragment-source line of ValueScan leaves.
+func (p *Plan) valueSource(t *valueScan) string {
+	if p.opts.NoValueIndex {
+		return "per-node evaluation (value index disabled)"
+	}
+	switch {
+	case t.contains:
+		return "value index (string B-tree, substring scan)"
+	case t.numeric:
+		return "value index (numeric B-tree)"
+	default:
+		return "value index (string B-tree)"
 	}
 }
 

@@ -773,8 +773,13 @@ func nodePassesTest(d *doc.Document, a axis.Axis, test xpath.NodeTest, v int32) 
 	k := d.KindOf(v)
 	// Axis-level kind filtering for axes evaluated outside the
 	// staircase join (child, self, siblings): attributes appear only
-	// on the attribute axis.
+	// on the attribute axis, and the attribute axis holds nothing but
+	// attributes (axis.In semantics — value-index fragments rely on
+	// this when filtered per axis).
 	if a != axis.Attribute && k == doc.Attr {
+		return false
+	}
+	if a == axis.Attribute && k != doc.Attr {
 		return false
 	}
 	switch test.Kind {

@@ -142,6 +142,12 @@ type Options struct {
 	// ColumnScan operator). Results are identical; the knob exists for
 	// ablation and the rescan-baseline benchmarks.
 	NoIndex bool
+	// NoValueIndex disables the document's value index: comparison and
+	// contains() predicates rewritten to value semijoins fall back to
+	// per-node predicate evaluation at execution time. Results are
+	// identical (the canonical plan string does not change); the knob
+	// exists for ablation and the value-rescan benchmarks.
+	NoValueIndex bool
 }
 
 // orDefault returns opts, or the zero default when nil.

@@ -9,6 +9,7 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 
 	"staircase/internal/xpath"
 )
@@ -17,6 +18,7 @@ import (
 const (
 	pgExists uint8 = iota
 	pgCompare
+	pgContains
 	pgPosition
 	pgLast
 	pgNot
@@ -26,12 +28,13 @@ const (
 
 // predProg is one compiled predicate.
 type predProg struct {
-	kind uint8
-	sub  *Plan // pgExists, pgCompare: the relative path's sub-plan
-	op   xpath.CompareOp
-	lit  string
-	n    int
-	kids []*predProg
+	kind    uint8
+	sub     *Plan // pgExists, pgCompare, pgContains: the relative path's sub-plan
+	op      xpath.CompareOp
+	lit     string
+	numeric bool // pgCompare: number literal, compare as float64
+	n       int
+	kids    []*predProg
 }
 
 // compilePredProg compiles a predicate against the plan's environment
@@ -49,7 +52,13 @@ func compilePredProg(env *Env, opts *Options, pred xpath.Predicate) (*predProg, 
 		if err != nil {
 			return nil, err
 		}
-		return &predProg{kind: pgCompare, sub: sub, op: p.Op, lit: p.Literal}, nil
+		return &predProg{kind: pgCompare, sub: sub, op: p.Op, lit: p.Literal, numeric: p.Numeric}, nil
+	case xpath.Contains:
+		sub, err := compileSubPath(env, opts, p.Path)
+		if err != nil {
+			return nil, err
+		}
+		return &predProg{kind: pgContains, sub: sub, lit: p.Literal}, nil
 	case xpath.Position:
 		return &predProg{kind: pgPosition, n: p.N}, nil
 	case xpath.Last:
@@ -122,8 +131,18 @@ func (pg *predProg) holds(ec *execCtx, v int32) (bool, error) {
 			return false, err
 		}
 		for _, n := range nodes {
-			s := ec.env.Doc.StringValue(n)
-			if (pg.op == xpath.OpEq && s == pg.lit) || (pg.op == xpath.OpNe && s != pg.lit) {
+			if xpath.CompareValue(ec.env.Doc.StringValue(n), pg.op, pg.lit, pg.numeric) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case pgContains:
+		nodes, err := pg.evalSub(ec, v)
+		if err != nil {
+			return false, err
+		}
+		for _, n := range nodes {
+			if strings.Contains(ec.env.Doc.StringValue(n), pg.lit) {
 				return true, nil
 			}
 		}

@@ -71,6 +71,11 @@ type Config struct {
 	// fragments are rebuilt by column scan per query (ablation knob,
 	// xpathd -index=false). Individual requests may also set it.
 	NoIndex bool
+	// NoValueIndex disables value-index fragment service by default:
+	// comparison and contains() predicates are re-evaluated per node
+	// (ablation knob, xpathd -value-index=false). Individual requests
+	// may also set it.
+	NoValueIndex bool
 	// MaxBatch caps the number of queries in one POST /query request;
 	// <= 0 defaults to 256.
 	MaxBatch int
@@ -183,6 +188,10 @@ type QueryOptions struct {
 	// NoIndex evaluates without the shared tag/kind index (per-query
 	// column rescans; results are identical — ablation knob).
 	NoIndex bool `json:"noIndex,omitempty"`
+	// NoValueIndex evaluates value predicates without the value index
+	// (per-node string comparison; results are identical — ablation
+	// knob).
+	NoValueIndex bool `json:"noValueIndex,omitempty"`
 }
 
 // QueryRequest is the POST /query body. Query and Queries may be
@@ -246,10 +255,13 @@ var pushdowns = map[string]engine.Pushdown{
 // join workers for one query than the units the query holds in the
 // pool, keeping the "cannot oversubscribe the machine" contract honest.
 func (s *Server) engineOptions(o *QueryOptions) (*engine.Options, error) {
-	opts := &engine.Options{Parallelism: s.cfg.DefaultParallelism, NoIndex: s.cfg.NoIndex}
+	opts := &engine.Options{Parallelism: s.cfg.DefaultParallelism, NoIndex: s.cfg.NoIndex, NoValueIndex: s.cfg.NoValueIndex}
 	if o != nil {
 		if o.NoIndex {
 			opts.NoIndex = true
+		}
+		if o.NoValueIndex {
+			opts.NoValueIndex = true
 		}
 		strat, ok := strategies[o.Strategy]
 		if !ok {
@@ -323,6 +335,9 @@ func preparedKey(docName string, gen uint64, opts *engine.Options, query string)
 	sb.WriteString(strconv.Itoa(opts.Parallelism))
 	if opts.NoIndex {
 		sb.WriteString(",noindex")
+	}
+	if opts.NoValueIndex {
+		sb.WriteString(",novalueindex")
 	}
 	sb.WriteByte(0)
 	sb.WriteString(query)
@@ -678,11 +693,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		noIndex = b
 	}
+	noValueIndex := false
+	if v := q.Get("noValueIndex"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad noValueIndex %q", v)
+			return
+		}
+		noValueIndex = b
+	}
 	opts, err := s.engineOptions(&QueryOptions{
-		Strategy:    q.Get("strategy"),
-		Pushdown:    q.Get("pushdown"),
-		Parallelism: par,
-		NoIndex:     noIndex,
+		Strategy:     q.Get("strategy"),
+		Pushdown:     q.Get("pushdown"),
+		Parallelism:  par,
+		NoIndex:      noIndex,
+		NoValueIndex: noValueIndex,
 	})
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
@@ -756,6 +781,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit("workers_capacity", int64(s.pool.cap))
 	emit("catalog_resident_bytes", s.cat.ResidentBytes())
 	emit("catalog_index_bytes", s.cat.IndexBytes())
+	emit("catalog_value_index_bytes", s.cat.ValueIndexBytes())
 	emit("uptime_seconds", int64(time.Since(s.start).Seconds()))
 }
 

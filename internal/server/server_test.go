@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sync"
@@ -550,6 +551,76 @@ func TestQueryNoIndexMatchesDefault(t *testing.T) {
 				t.Fatalf("%s noIndex=%v: %d nodes, want %d", q, noIndex, out.Results[0].Count, len(want.Nodes))
 			}
 		}
+	}
+}
+
+// TestQueryNoValueIndexMatchesDefault: the noValueIndex request knob
+// must not change any result of a value-predicate query (index-served
+// fragments and per-node re-evaluation are property-tested equal; this
+// pins the HTTP threading of the knob).
+func TestQueryNoValueIndexMatchesDefault(t *testing.T) {
+	_, ts, ref := newTestServer(t, 0) // cache disabled: both paths evaluate
+	defer ts.Close()
+
+	for _, q := range []string{
+		"//open_auction[current > 100]",
+		"//person[contains(name, 'a')]/name",
+		"//bidder[increase >= 10]",
+	} {
+		want, err := ref["mem"].EvalString(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, noVIdx := range []bool{false, true} {
+			out, code := postQuery(t, ts.URL, QueryRequest{
+				Doc:     "mem",
+				Query:   q,
+				Options: &QueryOptions{NoValueIndex: noVIdx},
+			})
+			if code != http.StatusOK {
+				t.Fatalf("%s noValueIndex=%v: status %d", q, noVIdx, code)
+			}
+			if len(out.Results) != 1 || out.Results[0].Error != "" {
+				t.Fatalf("bad response: %+v", out)
+			}
+			if out.Results[0].Count != len(want.Nodes) {
+				t.Fatalf("%s noValueIndex=%v: %d nodes, want %d",
+					q, noVIdx, out.Results[0].Count, len(want.Nodes))
+			}
+		}
+	}
+}
+
+// TestExplainShowsValueIndexSource: /explain names the value-fragment
+// source for a comparison predicate and the noValueIndex parameter
+// flips it to the per-node fallback.
+func TestExplainShowsValueIndexSource(t *testing.T) {
+	_, ts, _ := newTestServer(t, 1<<20)
+	defer ts.Close()
+
+	get := func(url string) string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s -> %d: %s", url, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	q := "/explain?doc=mem&q=" + url.QueryEscape("//open_auction[current > 100]")
+	out := get(ts.URL + q)
+	if !bytes.Contains([]byte(out), []byte("value index (numeric B-tree)")) {
+		t.Fatalf("explain missing value-index source:\n%s", out)
+	}
+	out = get(ts.URL + q + "&noValueIndex=true")
+	if !bytes.Contains([]byte(out), []byte("value index disabled")) {
+		t.Fatalf("explain missing per-node fallback:\n%s", out)
 	}
 }
 

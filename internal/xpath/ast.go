@@ -14,9 +14,17 @@
 //	nodetest  := NAME | '*' | 'node()' | 'text()' | 'comment()'
 //	           | 'processing-instruction(' NAME? ')'
 //	predicate := '[' expr ']'
-//	expr      := path | path '=' literal | path '!=' literal
+//	expr      := path | path cmp literal
+//	           | 'contains(' path ',' STRING ')'
 //	           | 'position()' '=' NUMBER | NUMBER | 'last()'
-//	           | 'not(' expr ')'
+//	           | 'not(' expr ')' | expr 'and' expr | expr 'or' expr
+//	cmp       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//	literal   := STRING | NUMBER
+//
+// A STRING literal compares string values bytewise; a NUMBER literal
+// (digits with an optional decimal fraction) selects numeric
+// comparison, where a node whose string value does not parse as a
+// finite number never matches (see CompareValue).
 package xpath
 
 import (
@@ -115,7 +123,7 @@ func (t NodeTest) String() string {
 }
 
 // Predicate is a step qualifier. Implementations: Exists, Compare,
-// Position, Last, Not.
+// Contains, Position, Last, Not, And, Or.
 type Predicate interface {
 	fmt.Stringer
 	predicate()
@@ -137,24 +145,69 @@ const (
 	OpEq CompareOp = iota
 	// OpNe is '!='.
 	OpNe
+	// OpLt is '<'.
+	OpLt
+	// OpLe is '<='.
+	OpLe
+	// OpGt is '>'.
+	OpGt
+	// OpGe is '>='.
+	OpGe
 )
+
+// String renders the operator symbol.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CompareOp(%d)", uint8(op))
+	}
+}
 
 // Compare is satisfied when some node produced by the relative path has
 // a string value standing in the given relation to the literal
-// (XPath 1.0 existential comparison semantics).
+// (XPath 1.0 existential comparison semantics). Numeric marks a number
+// literal: both sides convert to float64 and nodes whose string value
+// is not a finite number never match; otherwise the comparison is
+// bytewise over strings.
 type Compare struct {
 	Path    Path
 	Op      CompareOp
 	Literal string
+	Numeric bool
 }
 
 func (Compare) predicate() {}
 func (c Compare) String() string {
-	op := "="
-	if c.Op == OpNe {
-		op = "!="
+	if c.Numeric {
+		return fmt.Sprintf("%s %s %s", c.Path, c.Op, c.Literal)
 	}
-	return fmt.Sprintf("%s %s %q", c.Path, op, c.Literal)
+	return fmt.Sprintf("%s %s %q", c.Path, c.Op, c.Literal)
+}
+
+// Contains is satisfied when some node produced by the relative path
+// has a string value containing the literal as a substring —
+// contains(path, 'lit'), the XPath 1.0 function restricted to a
+// string-literal needle.
+type Contains struct {
+	Path    Path
+	Literal string
+}
+
+func (Contains) predicate() {}
+func (c Contains) String() string {
+	return fmt.Sprintf("contains(%s, %q)", c.Path, c.Literal)
 }
 
 // Position is [n] or [position()=n]: keeps the n-th node (1-based) of

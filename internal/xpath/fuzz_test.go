@@ -1,0 +1,60 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQuery drives the parser — including the comparison and
+// contains() grammar — over arbitrary inputs. Three properties:
+// parsing never panics, every rejection names a byte offset, and for
+// inputs whose literals survive %q-rendering unchanged the canonical
+// String() form re-parses to the same canonical form.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"/descendant::profile/descendant::education",
+		"/descendant::increase/ancestor::bidder",
+		"//bidder[descendant::increase]",
+		"//closed_auction[price > 100]",
+		"//item[@id = 'item1']",
+		"//person[profile/@income >= 50000.5]",
+		"//open_auction[initial < '200']",
+		"//item[contains(name, 'brutus')]",
+		"//text()[contains(., 'caesar')]",
+		"a[b != 7][2] | c[@d <= 'x']",
+		"a[not(contains(@id, \"x\")) and b >= 0.25]",
+		"a[b > ]",
+		"a[contains(b, 5)]",
+		"a[contains(b, 'unterminated]",
+		"a[1.5]",
+		"a[b<='z' or c]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseQuery(input)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "xpath: offset ") {
+				t.Fatalf("error without offset for %q: %v", input, err)
+			}
+			return
+		}
+		s := q.String()
+		// Literals containing quotes, backslashes or non-printable bytes
+		// change spelling under %q, so only the plain-ASCII subset is
+		// held to canonical round-trip stability.
+		for i := 0; i < len(input); i++ {
+			if c := input[i]; c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+				return
+			}
+		}
+		q2, err := ParseQuery(s)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", s, input, err)
+		}
+		if s2 := q2.String(); s2 != s {
+			t.Fatalf("canonical form not stable: %q -> %q -> %q", input, s, s2)
+		}
+	})
+}

@@ -81,8 +81,13 @@ const (
 	tokAxisSep // ::
 	tokEq      // =
 	tokNe      // !=
+	tokLt      // <
+	tokLe      // <=
+	tokGt      // >
+	tokGe      // >=
+	tokComma   // ,
 	tokString  // 'lit' or "lit"
-	tokNumber  // 123
+	tokNumber  // 123 or 123.45
 	tokPipe    // |
 )
 
@@ -164,6 +169,23 @@ func (l *lexer) scan() token {
 	case '=':
 		l.pos++
 		return token{kind: tokEq, text: "=", off: start}
+	case '<':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokLe, text: "<=", off: start}
+		}
+		l.pos++
+		return token{kind: tokLt, text: "<", off: start}
+	case '>':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokGe, text: ">=", off: start}
+		}
+		l.pos++
+		return token{kind: tokGt, text: ">", off: start}
+	case ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", off: start}
 	case '!':
 		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
 			l.pos += 2
@@ -202,6 +224,14 @@ func (l *lexer) scan() token {
 		end := l.pos
 		for end < len(l.input) && l.input[end] >= '0' && l.input[end] <= '9' {
 			end++
+		}
+		// A decimal fraction joins the number only when a digit follows
+		// the dot, so "1." stays NUMBER '.' and "1.5" is one token.
+		if end+1 < len(l.input) && l.input[end] == '.' && l.input[end+1] >= '0' && l.input[end+1] <= '9' {
+			end += 2
+			for end < len(l.input) && l.input[end] >= '0' && l.input[end] <= '9' {
+				end++
+			}
 		}
 		t := token{kind: tokNumber, text: l.input[l.pos:end], off: start}
 		l.pos = end
@@ -493,6 +523,33 @@ func (p *parser) parsePredTerm() (Predicate, error) {
 				return Not{Inner: inner}, nil
 			}
 			*p.lex = save
+		case "contains":
+			save := *p.lex
+			p.lex.next()
+			if p.lex.peek().kind == tokLParen {
+				p.lex.next()
+				path, err := p.parsePath()
+				if err != nil {
+					return nil, err
+				}
+				if p.lex.peek().kind != tokComma {
+					return nil, p.errf("expected ',' in contains(...), got %q", p.lex.peek().text)
+				}
+				p.lex.next()
+				lit := p.lex.next()
+				if lit.kind != tokString {
+					if lit.kind == tokEOF && lit.text != "" {
+						return nil, p.errAt(lit.off, "%s", lit.text)
+					}
+					return nil, p.errAt(lit.off, "expected string literal in contains(...), got %q", lit.text)
+				}
+				if p.lex.peek().kind != tokRParen {
+					return nil, p.errf("expected ')' after contains(...), got %q", p.lex.peek().text)
+				}
+				p.lex.next()
+				return Contains{Path: path, Literal: lit.text}, nil
+			}
+			*p.lex = save // it was a path starting with element "contains"
 		}
 	}
 	// Otherwise: a relative (or absolute) path, optionally compared to
@@ -502,19 +559,37 @@ func (p *parser) parsePredTerm() (Predicate, error) {
 		return nil, err
 	}
 	switch p.lex.peek().kind {
-	case tokEq, tokNe:
-		op := OpEq
-		if p.lex.next().kind == tokNe {
+	case tokEq, tokNe, tokLt, tokLe, tokGt, tokGe:
+		var op CompareOp
+		switch p.lex.next().kind {
+		case tokEq:
+			op = OpEq
+		case tokNe:
 			op = OpNe
+		case tokLt:
+			op = OpLt
+		case tokLe:
+			op = OpLe
+		case tokGt:
+			op = OpGt
+		case tokGe:
+			op = OpGe
 		}
 		lit := p.lex.next()
-		if lit.kind != tokString {
+		switch lit.kind {
+		case tokString:
+			return Compare{Path: path, Op: op, Literal: lit.text}, nil
+		case tokNumber:
+			if _, ok := ParseNumber(lit.text); !ok {
+				return nil, p.errAt(lit.off, "bad number %q", lit.text)
+			}
+			return Compare{Path: path, Op: op, Literal: lit.text, Numeric: true}, nil
+		default:
 			if lit.kind == tokEOF && lit.text != "" {
 				return nil, p.errAt(lit.off, "%s", lit.text) // lexer diagnostic, e.g. unterminated string
 			}
-			return nil, p.errAt(lit.off, "expected string literal after comparison, got %q", lit.text)
+			return nil, p.errAt(lit.off, "expected string or number literal after comparison, got %q", lit.text)
 		}
-		return Compare{Path: path, Op: op, Literal: lit.text}, nil
 	default:
 		return Exists{Path: path}, nil
 	}

@@ -418,7 +418,7 @@ func TestParseErrorOffsets(t *testing.T) {
 		{"a[b='unterminated]", `xpath: offset 4: unterminated string`},
 		{"ab[position()=0]", `xpath: offset 14: bad position "0"`},
 		{"a[not(b]", `xpath: offset 7: expected ')' after not(...`},
-		{"a[b=]", `xpath: offset 4: expected string literal after comparison, got "]"`},
+		{"a[b=]", `xpath: offset 4: expected string or number literal after comparison, got "]"`},
 		{"a$", `xpath: offset 1: unexpected character $`},
 		{"a::node()", `xpath: offset 0: unknown axis "a"`},
 	}
@@ -435,5 +435,123 @@ func TestParseErrorOffsets(t *testing.T) {
 	// ParseQuery reports union-level trailing input with its offset too.
 	if _, err := ParseQuery("a | b )"); err == nil || err.Error() != `xpath: offset 6: trailing input at ")"` {
 		t.Errorf("ParseQuery trailing input: got %v", err)
+	}
+}
+
+// TestParseComparisons covers the typed comparison grammar: all six
+// operators, string vs numeric literals, and canonical re-rendering.
+func TestParseComparisons(t *testing.T) {
+	cases := []struct {
+		input   string
+		op      CompareOp
+		literal string
+		numeric bool
+		str     string // canonical String() rendering
+	}{
+		{`a[b = "x"]`, OpEq, "x", false, `child::a[child::b = "x"]`},
+		{`a[b != 'x']`, OpNe, "x", false, `child::a[child::b != "x"]`},
+		{`a[@id < '5']`, OpLt, "5", false, `child::a[attribute::id < "5"]`},
+		{`a[b <= 'zz']`, OpLe, "zz", false, `child::a[child::b <= "zz"]`},
+		{`price[. > '100']`, OpGt, "100", false, `child::price[self::node() > "100"]`},
+		{`a[b >= "y"]`, OpGe, "y", false, `child::a[child::b >= "y"]`},
+		{`a[b = 100]`, OpEq, "100", true, `child::a[child::b = 100]`},
+		{`a[b > 100]`, OpGt, "100", true, `child::a[child::b > 100]`},
+		{`a[b < 10.5]`, OpLt, "10.5", true, `child::a[child::b < 10.5]`},
+		{`a[@n >= 0.25]`, OpGe, "0.25", true, `child::a[attribute::n >= 0.25]`},
+		{`a[b != 7]`, OpNe, "7", true, `child::a[child::b != 7]`},
+		{`a[text() <= 3]`, OpLe, "3", true, `child::a[child::text() <= 3]`},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.input)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.input, err)
+			continue
+		}
+		cmp, ok := p.Steps[0].Preds[0].(Compare)
+		if !ok {
+			t.Errorf("Parse(%q) predicate = %T, want Compare", tc.input, p.Steps[0].Preds[0])
+			continue
+		}
+		if cmp.Op != tc.op || cmp.Literal != tc.literal || cmp.Numeric != tc.numeric {
+			t.Errorf("Parse(%q) = op %v literal %q numeric %v", tc.input, cmp.Op, cmp.Literal, cmp.Numeric)
+		}
+		if got := p.String(); got != tc.str {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.input, got, tc.str)
+		}
+		// Canonical renderings must re-parse to the same predicate.
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("reparse %q: %v", p.String(), err)
+		} else if again.String() != p.String() {
+			t.Errorf("reparse %q = %q", p.String(), again.String())
+		}
+	}
+}
+
+func TestParseContains(t *testing.T) {
+	p, err := Parse(`item[contains(name, 'brutus')]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := p.Steps[0].Preds[0].(Contains)
+	if !ok || c.Literal != "brutus" || len(c.Path.Steps) != 1 || c.Path.Steps[0].Test.Name != "name" {
+		t.Fatalf("contains predicate = %+v", p.Steps[0].Preds[0])
+	}
+	if got, want := p.String(), `child::item[contains(child::name, "brutus")]`; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if _, err := Parse(p.String()); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+
+	// contains on an attribute path, nested under not().
+	p, err = Parse(`a[not(contains(@id, "x"))]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Steps[0].Preds[0].(Not)
+	if _, ok := n.Inner.(Contains); !ok {
+		t.Fatalf("not(contains(...)) inner = %T", n.Inner)
+	}
+
+	// An element named "contains" must still parse as a path.
+	p, err = Parse(`a[contains]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex, ok := p.Steps[0].Preds[0].(Exists); !ok || ex.Path.Steps[0].Test.Name != "contains" {
+		t.Fatalf("a[contains] predicate = %+v", p.Steps[0].Preds[0])
+	}
+	if _, err = Parse(`a[contains/b = 'x']`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseComparisonErrorOffsets pins diagnostics of the extended
+// grammar: every error carries the byte offset of the offending token.
+func TestParseComparisonErrorOffsets(t *testing.T) {
+	cases := []struct {
+		input string
+		want  string
+	}{
+		{"a[b>]", `xpath: offset 4: expected string or number literal after comparison, got "]"`},
+		{"a[b<='unterminated]", `xpath: offset 5: unterminated string`},
+		{"a[b >= ]", `xpath: offset 7: expected string or number literal after comparison, got "]"`},
+		{"a[contains(b]", `xpath: offset 12: expected ',' in contains(...), got "]"`},
+		{"a[contains(b, ]", `xpath: offset 14: expected string literal in contains(...), got "]"`},
+		{"a[contains(b, 5)]", `xpath: offset 14: expected string literal in contains(...), got "5"`},
+		{"a[contains(b, 'x']", `xpath: offset 17: expected ')' after contains(...), got "]"`},
+		{"a[contains(b, 'unterminated)]", `xpath: offset 14: unterminated string`},
+		{"a[1.5]", `xpath: offset 2: bad position "1.5"`},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.input)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want %q", tc.input, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("Parse(%q):\n got %q\nwant %q", tc.input, err.Error(), tc.want)
+		}
 	}
 }

@@ -1,0 +1,67 @@
+package xpath
+
+import "testing"
+
+func TestParseNumber(t *testing.T) {
+	cases := []struct {
+		in string
+		f  float64
+		ok bool
+	}{
+		{"100", 100, true},
+		{"10.5", 10.5, true},
+		{" 42 ", 42, true},
+		{"\t0.25\n", 0.25, true},
+		{"-3", -3, true},
+		{"1e3", 1000, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"12x", 0, false},
+		{"NaN", 0, false},
+		{"Inf", 0, false},
+		{"-Inf", 0, false},
+	}
+	for _, c := range cases {
+		f, ok := ParseNumber(c.in)
+		if ok != c.ok || (ok && f != c.f) {
+			t.Errorf("ParseNumber(%q) = %v, %v; want %v, %v", c.in, f, ok, c.f, c.ok)
+		}
+	}
+}
+
+func TestCompareValue(t *testing.T) {
+	cases := []struct {
+		s       string
+		op      CompareOp
+		lit     string
+		numeric bool
+		want    bool
+	}{
+		// String comparisons are bytewise.
+		{"abc", OpEq, "abc", false, true},
+		{"abc", OpNe, "abc", false, false},
+		{"abc", OpLt, "abd", false, true},
+		{"10", OpLt, "9", false, true}, // lexicographic, not numeric
+		{"b", OpGe, "b", false, true},
+		{"b", OpGt, "b", false, false},
+		{"", OpLe, "", false, true},
+		// Numeric comparisons convert both sides.
+		{"100", OpEq, "100.0", true, true},
+		{"10", OpLt, "9", true, false},
+		{" 99.5 ", OpGt, "99", true, true},
+		{"100", OpGe, "100", true, true},
+		{"100", OpNe, "100.0", true, false},
+		{"7", OpNe, "8", true, true},
+		// Non-numeric values never match numerically — under any op.
+		{"abc", OpEq, "5", true, false},
+		{"abc", OpNe, "5", true, false},
+		{"", OpLt, "5", true, false},
+		{"NaN", OpEq, "5", true, false},
+	}
+	for _, c := range cases {
+		if got := CompareValue(c.s, c.op, c.lit, c.numeric); got != c.want {
+			t.Errorf("CompareValue(%q, %v, %q, numeric=%v) = %v, want %v",
+				c.s, c.op, c.lit, c.numeric, got, c.want)
+		}
+	}
+}

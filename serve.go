@@ -46,6 +46,12 @@ func WithoutIndex() CatalogOption {
 	return func(c *catalogConfig) { c.inner = append(c.inner, catalog.WithoutIndex()) }
 }
 
+// WithoutValueIndex disables eager value-index residency on load (the
+// ablation/operations knob behind xpathd -value-index=false).
+func WithoutValueIndex() CatalogOption {
+	return func(c *catalogConfig) { c.inner = append(c.inner, catalog.WithoutValueIndex()) }
+}
+
 // NewCatalog returns an empty catalog. maxBytes bounds the total
 // resident bytes of loaded documents (0 = unbounded); entries beyond
 // the budget are evicted least-recently-used once unreferenced.
@@ -90,6 +96,10 @@ type ServerConfig struct {
 	// NoIndex disables the shared tag/kind index by default
 	// (per-query column rescans; results identical — ablation knob).
 	NoIndex bool
+	// NoValueIndex disables value-index fragment service by default
+	// (per-node predicate re-evaluation; results identical — ablation
+	// knob).
+	NoValueIndex bool
 	// MaxBatch caps the number of queries in one POST /query request;
 	// <= 0 defaults to 256.
 	MaxBatch int
@@ -110,6 +120,7 @@ func NewServer(cfg ServerConfig) *Server {
 		Workers:            cfg.Workers,
 		DefaultParallelism: cfg.DefaultParallelism,
 		NoIndex:            cfg.NoIndex,
+		NoValueIndex:       cfg.NoValueIndex,
 		MaxBatch:           cfg.MaxBatch,
 	})}
 }
