@@ -6,8 +6,10 @@
 // baseline, and the index build itself), the value-index hot path
 // (warm value-fragment semijoin, the per-node re-evaluation baseline,
 // the value-index build, and top-1 contains() latency), plan
-// compilation, and the query server's warm plan-cache request path,
-// i.e. the hot paths every perf-oriented PR touches. cmd/benchrun
+// compilation, the query server's warm plan-cache request path, the
+// shared-scan fan-out (8 coalesced cold streams per op) and the
+// morsel-parallel cursor drain — i.e. the hot paths every
+// perf-oriented PR touches. cmd/benchrun
 // drives it via -gate / -write-baseline and publishes the full Compare
 // record for CI.
 package bench
@@ -193,6 +195,39 @@ func smokeFamily(c *Corpus) []struct {
 				}
 				if len(r.Nodes) != 1 {
 					b.Fatal("no first result")
+				}
+			}
+		}},
+		// Shared-scan execution: 8 concurrent identical cold /stream
+		// requests per op through the pace-car registry (one flight,
+		// follower replays), and a full morsel-parallel cursor drain —
+		// the order-restoring merge must not tax streaming throughput.
+		{"CoalescedColdFanout", coalescedFanoutBench(d)},
+		{"MorselStreamThroughput", func(b *testing.B) {
+			p, err := e.PrepareString("/descendant-or-self::node()", &engine.Options{MorselWorkers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cur, err := p.Cursor(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					batch, err := cur.Next()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if batch == nil {
+						break
+					}
+					n += len(batch)
+				}
+				if n == 0 {
+					b.Fatal("empty drain")
 				}
 			}
 		}},

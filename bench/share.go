@@ -1,0 +1,148 @@
+// The shared-scan experiment: N identical cold streaming clients
+// against the pace-car registry versus N independent solo executions.
+// Coalescing turns the aggregate cost of an identical-query burst from
+// N plan executions into one driven cursor plus N-1 buffer replays, so
+// aggregate wall time should approach the solo time of a single
+// client — the server-side dual of the paper's "share what you have
+// already scanned" economics.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"staircase/internal/catalog"
+	"staircase/internal/doc"
+	"staircase/internal/server"
+)
+
+// QShare is the coalescing workload: a predicate-heavy scan whose
+// evaluation dominates HTTP framing by orders of magnitude, so the
+// solo-vs-shared comparison measures plan executions, not transport.
+const QShare = "//*[not(descendant::text() = 'a')][not(descendant::text() = 'b')]"
+
+// shareRun launches n identical concurrent /stream clients against a
+// fresh ShareScans server and returns the aggregate wall time and the
+// registry counters. solo bypasses coalescing and caching (NoCache),
+// so every client runs its own execution — the fan-out baseline.
+func shareRun(d *doc.Document, query string, n int, solo bool) (time.Duration, int64, int64) {
+	cat := catalog.New(0)
+	if err := cat.AddDocument("xmark", d); err != nil {
+		panic(err)
+	}
+	srv := server.New(server.Config{Catalog: cat, CacheBytes: 256 << 20, ShareScans: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(server.QueryRequest{Doc: "xmark", Query: query, NoCache: solo})
+	if err != nil {
+		panic(err)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/stream", "application/json", bytes.NewReader(body))
+			if err != nil {
+				panic(err)
+			}
+			defer resp.Body.Close()
+			dec := json.NewDecoder(resp.Body)
+			var last server.StreamChunk
+			for dec.More() {
+				if err := dec.Decode(&last); err != nil {
+					panic(err)
+				}
+			}
+			if !last.Done || last.Error != "" {
+				panic(fmt.Sprintf("bench: share stream did not finish cleanly: %+v", last))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	created, coalesced, _ := srv.ShareStats()
+	return wall, created, coalesced
+}
+
+// Share regenerates the shared-scan comparison: for each client count,
+// the aggregate wall time of N identical cold /stream requests with
+// coalescing (one pace-car execution, N-1 followers) versus N solo
+// executions, plus the registry's created/coalesced accounting.
+func Share(c *Corpus, mb float64, clients []int) Table {
+	t := Table{
+		ID:     "share",
+		Title:  fmt.Sprintf("shared-scan execution: pace-car coalescing vs solo fan-out (%.1f MB)", mb),
+		Header: []string{"clients", "mode", "wall[ms]", "executions", "coalesced", "solo/shared"},
+		Notes: []string{
+			fmt.Sprintf("query: %s (predicate-heavy scan; evaluation >> transport)", QShare),
+			"solo: every client runs the plan (NoCache bypasses the registry); shared: one pace car drives, followers replay the flight buffer",
+			"executions = flights created; each fresh server starts cold, so shared should show exactly 1",
+		},
+	}
+	d := c.ValueDoc(mb)
+	for _, n := range clients {
+		if n < 1 {
+			continue
+		}
+		soloWall, soloCreated, _ := shareRun(d, QShare, n, true)
+		sharedWall, created, coalesced := shareRun(d, QShare, n, false)
+		_ = soloCreated // solo mode bypasses the registry entirely
+		t.Rows = append(t.Rows,
+			[]string{fmt.Sprint(n), "solo", ms(soloWall), fmt.Sprint(n), "0", ""},
+			[]string{fmt.Sprint(n), "shared", ms(sharedWall), fmt.Sprint(created), fmt.Sprint(coalesced),
+				fmt.Sprintf("%.1fx", float64(soloWall.Nanoseconds())/float64(max(sharedWall.Nanoseconds(), 1)))},
+		)
+	}
+	return t
+}
+
+// coalescedFanoutBench is the gate family's shared-scan hot path: 8
+// concurrent identical cold /stream requests through the pace-car
+// registry per op. The result cache is disabled so every op is a cold
+// fan-out (flight creation + follower replay), never a cache hit.
+func coalescedFanoutBench(d *doc.Document) func(b *testing.B) {
+	return func(b *testing.B) {
+		cat := catalog.New(0)
+		if err := cat.AddDocument("smoke", d); err != nil {
+			b.Fatal(err)
+		}
+		srv := server.New(server.Config{Catalog: cat, ShareScans: true})
+		h := srv.Handler()
+		body := []byte(`{"doc":"smoke","query":"` + QStream + `"}`)
+		do := func() error {
+			req := httptest.NewRequest(http.MethodPost, "/stream", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				return fmt.Errorf("fanout stream: %d %s", w.Code, w.Body.String())
+			}
+			return nil
+		}
+		if err := do(); err != nil { // prime compiled-query and plan caches
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for k := 0; k < 8; k++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := do(); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	}
+}

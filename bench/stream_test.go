@@ -16,12 +16,15 @@ func TestStreamExperiment(t *testing.T) {
 }
 
 // TestEvalFirstWallTime is the streaming acceptance criterion:
-// EvalLimit(1) on the exists-semijoin query class over the XMark
-// smoke document must complete in <= 20% of the full Eval wall time
-// (in practice it is a small fixed cost, orders of magnitude below).
+// EvalLimit(1) on the exists-semijoin query class must complete in
+// <= 20% of the full Eval wall time (in practice it is a small fixed
+// cost, orders of magnitude below). Measured on a 4 MB document: on
+// the 0.5 MB smoke doc the full evaluation is ~10µs, close enough to
+// EvalLimit's ~1µs fixed cost that scheduler noise from concurrently
+// testing packages can push the ratio over the bar.
 func TestEvalFirstWallTime(t *testing.T) {
 	c := NewCorpus()
-	d := c.Doc(smokeSizeMB)
+	d := c.Doc(4)
 	d.TagIndex()
 	e := engine.New(d)
 	p, err := e.PrepareString(QStream, nil)

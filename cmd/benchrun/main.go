@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|index|value|parallel|copyscan|mpmgjn|storage|server|stream]
+//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|index|value|parallel|copyscan|mpmgjn|storage|server|stream|share]
 //	         [-sizes 0.5,1,2,4] [-parallel-size 4] [-workers 1,2,4,8] [-clients 1,2,4,8]
 //	         [-parallel N] [-out file] [-json]
 //
@@ -12,7 +12,9 @@
 // partition-parallel staircase-join workers (-1 = GOMAXPROCS); the
 // dedicated "parallel" experiment sweeps -workers explicitly, and the
 // "server" experiment sweeps -clients concurrent HTTP clients against
-// the xpathd query server (cold vs warm result cache).
+// the xpathd query server (cold vs warm result cache). The "share"
+// experiment sweeps -clients identical cold /stream requests through
+// the pace-car coalescing registry against the solo fan-out baseline.
 //
 // Sizes are megabyte equivalents of the XMark-substitute generator; the
 // paper sweeps 1.1–1111 MB. Larger sizes reproduce the same shapes with
@@ -226,9 +228,10 @@ func main() {
 		"storage":  func() bench.Table { return bench.Storage(c, sizes) },
 		"server":   func() bench.Table { return bench.ServerThroughput(c, *parSize, clients) },
 		"stream":   func() bench.Table { return bench.Stream(c, sizes) },
+		"share":    func() bench.Table { return bench.Share(c, *parSize, clients) },
 	}
 	order := []string{"table1", "fig3", "fig11a", "fig11b", "fig11c", "fig11d",
-		"fig11e", "fig11f", "window", "frag", "index", "value", "parallel", "copyscan", "mpmgjn", "storage", "server", "stream"}
+		"fig11e", "fig11f", "window", "frag", "index", "value", "parallel", "copyscan", "mpmgjn", "storage", "server", "stream", "share"}
 
 	emitJSON := func(tables []bench.Table) {
 		enc := json.NewEncoder(w)

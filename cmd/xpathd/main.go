@@ -33,6 +33,13 @@
 // result batches as NDJSON lines as the kernels produce them. Request
 // cancellation (timeouts, client disconnects) propagates into running
 // plans and frees their worker-pool slots.
+//
+// -share-scans (default on) coalesces identical in-flight executions:
+// concurrent cache misses on the same (doc, plan, limit) key share one
+// pace-car execution, visible as coalesced_queries_total and
+// pace_car_handoffs_total in /metrics. -morsel-workers N parallelizes
+// inside each streaming cursor with an order-restoring merge; output
+// is byte-identical to serial.
 package main
 
 import (
@@ -83,6 +90,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "default staircase-join parallelism per query (0/1 serial, -1 all cores)")
 	useIndex := flag.Bool("index", true, "keep the shared tag/kind index resident per document (false: per-query column rescans; results identical)")
 	useVIndex := flag.Bool("value-index", true, "keep the value index resident per document (false: value predicates re-evaluate per node; results identical)")
+	shareScans := flag.Bool("share-scans", true, "coalesce identical in-flight executions: concurrent cache misses on one (doc, plan, limit) key share a single pace-car execution")
+	morsels := flag.Int("morsel-workers", 0, "default morsel parallelism inside each streaming cursor (0/1 serial, -1 all cores; output identical to serial)")
 	flag.Parse()
 
 	if len(docs) == 0 && len(gens) == 0 {
@@ -128,6 +137,8 @@ func main() {
 		DefaultParallelism: *parallel,
 		NoIndex:            !*useIndex,
 		NoValueIndex:       !*useVIndex,
+		ShareScans:         *shareScans,
+		MorselWorkers:      *morsels,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"staircase/internal/axis"
+)
+
+// quickMax returns the testing/quick iteration count: the default in
+// ordinary runs, or STAIRCASE_QUICK_MAX when set (the nightly CI job
+// cranks the property suites up through this knob).
+func quickMax(def int) int {
+	if s := os.Getenv("STAIRCASE_QUICK_MAX"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// drainMorsel drains a morsel cursor with the given batch capacity
+// and a constant seek hint, closing it afterwards.
+func drainMorsel(t *testing.T, m *MorselCursor, batch int, seek int32) []int32 {
+	t.Helper()
+	defer m.Close()
+	var out []int32
+	for {
+		b, err := m.Next(make([]int32, 0, batch), seek)
+		if err != nil {
+			t.Fatalf("morsel Next: %v", err)
+		}
+		if b == nil {
+			return out
+		}
+		out = append(out, b...)
+	}
+}
+
+// TestMorselEqualsSerialQuick is the core morsel≡serial differential:
+// for random documents, contexts, axes, variants, worker counts and
+// batch sizes, the morsel cursor's concatenated output must be
+// byte-identical to the batch kernel's.
+func TestMorselEqualsSerialQuick(t *testing.T) {
+	f := func(seed int64, ctxBits uint16, axisPick, variantPick, workerPick, batchPick uint8) bool {
+		d, context := docFromSeed(seed, ctxBits)
+		a := allAxes[axisPick%4]
+		o := &Options{Variant: []Variant{NoSkip, Skip, SkipEstimate}[variantPick%3]}
+		workers := 1 + int(workerPick%8)
+		batch := 1 + int(batchPick%64)
+		want, err := Join(d, a, context, o)
+		if err != nil {
+			return false
+		}
+		m, err := NewMorselJoinCursor(d, a, context, nil, false, workers, o)
+		if err != nil {
+			return false
+		}
+		got := drainMorsel(t, m, batch, 0)
+		return eq32(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickMax(80)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMorselListEqualsSerialQuick is the node-list (index fragment)
+// counterpart: morsel output over a pre-sorted list must equal
+// JoinNodeList.
+func TestMorselListEqualsSerialQuick(t *testing.T) {
+	f := func(seed int64, ctxBits uint16, axisPick, variantPick, workerPick uint8) bool {
+		d, context := docFromSeed(seed, ctxBits)
+		rng := rand.New(rand.NewSource(seed*31 + int64(ctxBits)))
+		list := randomContext(rng, d, 1+rng.Intn(d.Size()))
+		a := allAxes[axisPick%4]
+		o := &Options{Variant: []Variant{NoSkip, Skip, SkipEstimate}[variantPick%3]}
+		workers := 1 + int(workerPick%8)
+		want, err := JoinNodeList(d, a, list, context, o)
+		if err != nil {
+			return false
+		}
+		m, err := NewMorselJoinCursor(d, a, context, list, true, workers, o)
+		if err != nil {
+			return false
+		}
+		got := drainMorsel(t, m, 32, 0)
+		return eq32(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickMax(80)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMorselLargeDocAllAxes exercises the multi-task paths (the range
+// splitter only cuts spans above minMorselSpan) on a document large
+// enough that every axis produces several morsels.
+func TestMorselLargeDocAllAxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := randomDoc(rng, 8000)
+	mid := int32(d.Size() / 2)
+	contexts := map[string][]int32{
+		"root":      {0},
+		"mid":       {mid},
+		"scattered": randomContext(rng, d, 40),
+	}
+	for name, context := range contexts {
+		for _, a := range allAxes {
+			want, err := Join(d, a, context, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewMorselJoinCursor(d, a, context, nil, false, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks := m.Tasks()
+			got := drainMorsel(t, m, 256, 0)
+			if !eq32(got, want) {
+				t.Fatalf("%s/%v: morsel (%d tasks) diverges from serial: got %d nodes, want %d",
+					name, a, tasks, len(got), len(want))
+			}
+		}
+	}
+	// The single-owner descendant scan from the root must actually
+	// fan out: that is the //node() streaming case the morsel path
+	// exists for.
+	m, err := NewMorselJoinCursor(d, axis.Descendant, []int32{0}, nil, false, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks() < 2 || m.Workers() < 2 {
+		t.Fatalf("root descendant scan did not parallelise: tasks=%d workers=%d", m.Tasks(), m.Workers())
+	}
+	drainMorsel(t, m, 256, 0)
+}
+
+// TestMorselSeekSkipsPrefix: a constant seek hint must omit exactly
+// the result nodes below the seek target (the cursor contract allows
+// omitting them; the morsel cursor does so deterministically via
+// binary search per task).
+func TestMorselSeekSkipsPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := randomDoc(rng, 4000)
+	context := randomContext(rng, d, 20)
+	for _, a := range allAxes {
+		want, err := Join(d, a, context, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			continue
+		}
+		seek := want[len(want)/2]
+		var tail []int32
+		for _, v := range want {
+			if v >= seek {
+				tail = append(tail, v)
+			}
+		}
+		m, err := NewMorselJoinCursor(d, a, context, nil, false, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainMorsel(t, m, 64, seek)
+		if !eq32(got, tail) {
+			t.Fatalf("%v: seek %d: got %d nodes, want %d", a, seek, len(got), len(tail))
+		}
+	}
+}
+
+// TestMorselEarlyClose: closing after a partial drain must wake the
+// parked workers (they block on the bounded lookahead window) and
+// join them without deadlock; Next afterwards reports exhaustion.
+func TestMorselEarlyClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := randomDoc(rng, 8000)
+	m, err := NewMorselJoinCursor(d, axis.Descendant, []int32{0}, nil, false, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Next(make([]int32, 0, 8), 0)
+	if err != nil || len(b) == 0 {
+		t.Fatalf("first batch: %v nodes, err %v", len(b), err)
+	}
+	m.Close()
+	m.Close() // idempotent
+	if b, err := m.Next(make([]int32, 0, 8), 0); err != nil || b != nil {
+		t.Fatalf("Next after Close: %v, %v", b, err)
+	}
+}
+
+// TestMorselStats: the driver-side counters (context size, workers)
+// and the folded per-task result count must match the serial join.
+func TestMorselStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	d := randomDoc(rng, 8000)
+	context := randomContext(rng, d, 50)
+	want, err := Join(d, axis.Descendant, context, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	m, err := NewMorselJoinCursor(d, axis.Descendant, context, nil, false, 4, &Options{Variant: SkipEstimate, Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainMorsel(t, m, 256, 0)
+	if !eq32(got, want) {
+		t.Fatalf("morsel diverges: %d vs %d nodes", len(got), len(want))
+	}
+	if st.ContextSize != int64(len(context)) {
+		t.Fatalf("ContextSize = %d, want %d", st.ContextSize, len(context))
+	}
+	if st.Result != int64(len(want)) {
+		t.Fatalf("Result = %d, want %d", st.Result, len(want))
+	}
+	if st.Workers < 2 {
+		t.Fatalf("Workers = %d, want >= 2", st.Workers)
+	}
+}
+
+// TestMorselEmptyContext: no tasks, immediate exhaustion, Close is a
+// no-op.
+func TestMorselEmptyContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := randomDoc(rng, 100)
+	m, err := NewMorselJoinCursor(d, axis.Ancestor, nil, nil, false, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainMorsel(t, m, 8, 0); got != nil {
+		t.Fatalf("empty context produced %v", got)
+	}
+}
+
+var _ JoinCursor = (*MorselCursor)(nil)

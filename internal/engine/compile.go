@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"math"
 
 	"staircase/internal/plan"
 	"staircase/internal/xpath"
@@ -60,8 +61,9 @@ func (e *Engine) EvalCompiled(c *Compiled, opts *Options) (*Result, error) {
 // Prepared plans are immutable and safe for concurrent Run calls; the
 // query server caches them per (document generation, options, query).
 type Prepared struct {
-	eng *Engine
-	pl  *plan.Plan
+	eng  *Engine
+	pl   *plan.Plan
+	opts Options
 }
 
 // Prepare compiles the query's logical plan into a physical plan for
@@ -74,7 +76,7 @@ func (e *Engine) Prepare(c *Compiled, opts *Options) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{eng: e, pl: pl}, nil
+	return &Prepared{eng: e, pl: pl, opts: *opts}, nil
 }
 
 // PrepareString parses, rewrites and prepares in one call.
@@ -170,10 +172,21 @@ func (p *Prepared) CursorContext(ctx context.Context, nodes []int32) (*plan.RunC
 	return p.pl.Cursor(ctx, nodes)
 }
 
+// explainRun produces the Result an explanation annotates. Morsel
+// annotations only exist on the streaming executor's Result, so a
+// morsel-enabled preparation explains a full cursor drain; everything
+// else keeps the batch executor.
+func (p *Prepared) explainRun() (*plan.Result, error) {
+	if p.opts.MorselWorkers > 1 || p.opts.MorselWorkers < 0 {
+		return p.pl.RunLimitRoot(context.Background(), math.MaxInt)
+	}
+	return p.pl.RunRoot()
+}
+
 // Explain executes the plan and renders the optimized operator tree
 // with per-operator fragment sources and actual cardinalities.
 func (p *Prepared) Explain() (string, error) {
-	r, err := p.pl.RunRoot()
+	r, err := p.explainRun()
 	if err != nil {
 		return "", err
 	}
@@ -182,7 +195,7 @@ func (p *Prepared) Explain() (string, error) {
 
 // ExplainJSON is Explain in machine-readable form.
 func (p *Prepared) ExplainJSON() ([]byte, error) {
-	r, err := p.pl.RunRoot()
+	r, err := p.explainRun()
 	if err != nil {
 		return nil, err
 	}

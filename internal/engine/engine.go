@@ -106,6 +106,14 @@ type Options struct {
 	// the goroutine fan-out; StepReport.Core.Workers records the count
 	// actually used.
 	Parallelism int
+	// MorselWorkers is the worker count for morsel-driven parallel
+	// execution inside streaming (cursor-based) evaluation: > 1 lets a
+	// single cursor pipeline cut each staircase join into many small
+	// tasks drained by that many workers through an order-restoring
+	// merge, a negative value (canonically AutoParallelism) uses
+	// GOMAXPROCS. Results are byte-identical to serial cursors; batch
+	// evaluation is unaffected (it uses Parallelism).
+	MorselWorkers int
 	// NoIndex disables the document's shared tag/kind index for this
 	// evaluation: pushdown fragments are rebuilt with an O(n) column
 	// scan per step (the pre-index behaviour). Results are identical;
@@ -128,11 +136,12 @@ type Options struct {
 // planOptions converts engine options to planner options.
 func planOptions(o *Options) *plan.Options {
 	return &plan.Options{
-		Strategy:     o.Strategy,
-		Pushdown:     o.Pushdown,
-		Parallelism:  o.Parallelism,
-		NoIndex:      o.NoIndex,
-		NoValueIndex: o.NoValueIndex,
+		Strategy:      o.Strategy,
+		Pushdown:      o.Pushdown,
+		Parallelism:   o.Parallelism,
+		MorselWorkers: o.MorselWorkers,
+		NoIndex:       o.NoIndex,
+		NoValueIndex:  o.NoValueIndex,
 	}
 }
 

@@ -1,0 +1,104 @@
+package engine
+
+// Morsel≡serial differential at the engine level: streaming execution
+// with MorselWorkers > 1 must produce byte-identical node sequences to
+// serial streaming and to batch evaluation, across random documents,
+// random queries, worker counts and limits. Run under -race this also
+// stresses the morsel worker pool's claim/publish/close protocol.
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"staircase/internal/xpath"
+)
+
+// quickTrials returns the iteration count for the heavyweight property
+// suites: the default in ordinary runs, or STAIRCASE_QUICK_MAX when
+// set (the nightly CI job cranks the suites up through this knob).
+func quickTrials(def int) int {
+	if s := os.Getenv("STAIRCASE_QUICK_MAX"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func TestMorselStreamingEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1312))
+	trials := quickTrials(4)
+	for trial := 0; trial < trials; trial++ {
+		d := randomDoc(rng, 1500)
+		e := New(d)
+		for n := 0; n < 30; n++ {
+			q := randQuery(rng)
+			if _, err := xpath.ParseQuery(q); err != nil {
+				continue
+			}
+			serial, err := e.PrepareString(q, &Options{})
+			if err != nil {
+				t.Fatalf("prepare %s: %v", q, err)
+			}
+			want, err := drainPrepared(serial)
+			if err != nil {
+				t.Fatalf("serial drain %s: %v", q, err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				opts := &Options{MorselWorkers: workers}
+				p, err := e.PrepareString(q, opts)
+				if err != nil {
+					t.Fatalf("prepare %s workers=%d: %v", q, workers, err)
+				}
+				got, err := drainPrepared(p)
+				if err != nil {
+					t.Fatalf("morsel drain %s workers=%d: %v", q, workers, err)
+				}
+				if !eq32(got, want) {
+					t.Fatalf("morsel != serial for %s workers=%d:\n got %v\nwant %v",
+						q, workers, got, want)
+				}
+				// Early termination joins the worker pool via Close.
+				lim := 1 + rng.Intn(len(want)+2)
+				lr, err := p.EvalLimit(context.Background(), lim)
+				if err != nil {
+					t.Fatalf("morsel EvalLimit(%d) %s: %v", lim, q, err)
+				}
+				wantPrefix := want
+				if lim < len(want) {
+					wantPrefix = want[:lim]
+				}
+				if !eq32(lr.Nodes, wantPrefix) {
+					t.Fatalf("morsel EvalLimit(%d) != serial prefix for %s workers=%d",
+						lim, q, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestMorselExplainReportsTasks pins the EXPLAIN surface: a morsel run
+// over a large descendant scan must report morsels= on the join.
+func TestMorselExplainReportsTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d := randomDoc(rng, 9000)
+	e := New(d)
+	p, err := e.PrepareString("//node()", &Options{MorselWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := p.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "morsels=") {
+		t.Fatalf("EXPLAIN lacks morsels= line:\n%s", text)
+	}
+	if !strings.Contains(text, "morsel-workers=4") {
+		t.Fatalf("EXPLAIN lacks morsel-workers=4 header:\n%s", text)
+	}
+}

@@ -196,7 +196,7 @@ func randQuery(rng *rand.Rand) string {
 // returns byte-identical node sequences to the step interpreter.
 func TestPlanEquivalentToLegacyEval(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	const trials = 6
+	trials := quickTrials(6)
 	const queriesPerDoc = 60
 	for trial := 0; trial < trials; trial++ {
 		d := randomDoc(rng, 200)
@@ -217,6 +217,9 @@ func TestPlanEquivalentToLegacyEval(t *testing.T) {
 			{Pushdown: PushAlways},
 			{Pushdown: PushNever, Parallelism: 2},
 			{Strategy: StaircaseNoSkip},
+			{MorselWorkers: 3},
+			{MorselWorkers: AutoParallelism, Pushdown: PushAlways},
+			{MorselWorkers: 2, NoIndex: true, Strategy: StaircaseSkip},
 		}
 		var wg sync.WaitGroup
 		for _, q := range queries {

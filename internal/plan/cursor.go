@@ -136,9 +136,13 @@ func searchNodes(nodes []int32, pre int32) int {
 }
 
 // blockingCursor materializes its result on first use (a pipeline
-// breaker) and then batches it out like a sliceCursor.
+// breaker) and then batches it out like a sliceCursor. in, when set,
+// is the input pipeline the fill closure drains: close must propagate
+// into it — a morsel join cursor abandoned mid-flight (LIMIT above a
+// pipeline breaker) holds a worker pool until closed.
 type blockingCursor struct {
 	fill   func() ([]int32, error)
+	in     cursor
 	sc     sliceCursor
 	inited bool
 }
@@ -155,7 +159,11 @@ func (c *blockingCursor) next(seek int32) ([]int32, error) {
 	return c.sc.next(seek)
 }
 
-func (c *blockingCursor) close() {}
+func (c *blockingCursor) close() {
+	if c.in != nil {
+		c.in.close()
+	}
+}
 
 // newRunCursor falls back to the materializing executor for operators
 // (or whole strategies — Naive, SQL) without a streaming
@@ -261,6 +269,23 @@ func (s *ctxSource) drain() error {
 	}
 }
 
+// drainContext pulls the whole context through the source (populating
+// the or-self queue on the way) and returns it materialised — the
+// morsel path needs the full pruned staircase before task cutting.
+func (s *ctxSource) drainContext() ([]int32, error) {
+	var out []int32
+	for {
+		v, ok, err := s.pull()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, v)
+	}
+}
+
 // takePend pops the pending self nodes <= hi, dropping those below the
 // seek hint.
 func (s *ctxSource) takePend(hi, seek int32) []int32 {
@@ -314,20 +339,41 @@ func (o *joinOp) open(ec *execCtx) (cursor, error) {
 	}
 
 	pushed := false
-	var kernel core.JoinCursor
+	var frag []int32
 	if o.frag != nil && ec.opts.Pushdown != PushNever {
 		if list, indexed, ok := o.frag.resolve(ec); ok && streamPush(ec.opts, indexed) {
 			pushed = true
 			st.Pushed, st.Indexed = true, indexed
 			ost.pushed, ost.indexed = true, indexed
 			ost.fragSize = len(list)
-			kernel, err = core.NewJoinNodeListCursor(d, o.base, list, src.pull, co)
+			frag = list
 		}
 	}
-	if kernel == nil && err == nil {
+	var kernel core.JoinCursor
+	if workers := morselWorkersFor(ec.opts); workers > 1 {
+		// Morsel-driven execution needs the whole pruned staircase up
+		// front to cut it into tasks, so the context is materialised
+		// here (teeing the or-self queue as a side effect). The morsel
+		// cursor's output is byte-identical to the serial kernels.
+		ctxNodes, derr := src.drainContext()
+		if derr != nil {
+			in.close()
+			return nil, derr
+		}
+		mk, merr := core.NewMorselJoinCursor(d, o.base, ctxNodes, frag, pushed, workers, co)
+		if merr != nil {
+			in.close()
+			return nil, merr
+		}
+		ost.morsels, ost.morselWorkers = mk.Tasks(), mk.Workers()
+		kernel = mk
+	} else if pushed {
+		kernel, err = core.NewJoinNodeListCursor(d, o.base, frag, src.pull, co)
+	} else {
 		kernel, err = core.NewJoinCursor(d, o.base, src.pull, co)
 	}
 	if err != nil {
+		in.close()
 		return nil, err
 	}
 	return &joinStreamCursor{
@@ -407,7 +453,14 @@ func (c *joinStreamCursor) next(seek int32) ([]int32, error) {
 	}
 }
 
-func (c *joinStreamCursor) close() { c.src.in.close() }
+func (c *joinStreamCursor) close() {
+	c.src.in.close()
+	// Morsel kernels own a worker pool; early termination must wake
+	// and join it (serial kernels have nothing to release).
+	if k, ok := c.kernel.(interface{ Close() }); ok {
+		k.Close()
+	}
+}
 
 // --- SemiJoin --------------------------------------------------------------
 
@@ -598,7 +651,7 @@ func (o *axisStepOp) open(ec *execCtx) (cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &blockingCursor{fill: func() ([]int32, error) {
+	return &blockingCursor{in: in, fill: func() ([]int32, error) {
 		ctxNodes, err := drainAll(ec, in)
 		if err != nil {
 			return nil, err
@@ -701,7 +754,7 @@ func (o *posFilterOp) open(ec *execCtx) (cursor, error) {
 		// Reverse axes number proximity positions backwards and emit
 		// per-context results in reverse document order: inherently
 		// blocking. The document-node case is a single evaluation.
-		return &blockingCursor{fill: func() ([]int32, error) {
+		return &blockingCursor{in: in, fill: func() ([]int32, error) {
 			ctxNodes, err := drainAll(ec, in)
 			if err != nil {
 				return nil, err

@@ -55,6 +55,11 @@ type opStat struct {
 	// used.
 	bound          int64
 	workersOffered int
+	// morsels/morselWorkers record morsel-driven cursor execution: the
+	// number of order-restored tasks the join was cut into and the
+	// worker-pool size that drained them (0 for serial cursors).
+	morsels       int
+	morselWorkers int
 }
 
 func (s *opStat) record(in, out int) {

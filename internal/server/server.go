@@ -19,7 +19,12 @@
 //   - a weighted worker semaphore that both inter-query concurrency and
 //     intra-query partition parallelism (engine.Options.Parallelism)
 //     draw from, so a burst of wide parallel queries cannot oversubscribe
-//     the machine.
+//     the machine;
+//   - optionally (Config.ShareScans) a pace-car registry that coalesces
+//     identical in-flight executions: concurrent cache misses on the
+//     same (doc, generation, canonical plan, limit) key share one
+//     driven cursor, and the completed buffer retires into the result
+//     cache — see internal/share.
 //
 // Endpoints: POST /query (single or batched queries against one
 // document), POST /stream (one query, results as NDJSON batches),
@@ -51,6 +56,7 @@ import (
 
 	"staircase/internal/catalog"
 	"staircase/internal/engine"
+	"staircase/internal/share"
 )
 
 // Config configures a Server.
@@ -79,15 +85,27 @@ type Config struct {
 	// MaxBatch caps the number of queries in one POST /query request;
 	// <= 0 defaults to 256.
 	MaxBatch int
+	// ShareScans coalesces identical in-flight executions: concurrent
+	// cache-missing requests with the same (doc, generation, canonical
+	// plan, limit) key share one pace-car execution instead of each
+	// running the plan (xpathd -share-scans). Requests with NoCache
+	// bypass coalescing along with the cache.
+	ShareScans bool
+	// MorselWorkers is the default intra-cursor morsel parallelism for
+	// streaming execution when a request does not set one (0/1 serial,
+	// N > 1 up to N workers, engine.AutoParallelism = all cores; clamped
+	// by the worker budget).
+	MorselWorkers int
 }
 
 // Server is the HTTP query service. Safe for concurrent use.
 type Server struct {
-	cfg   Config
-	cat   *catalog.Catalog
-	cache *resultCache
-	pool  *wsem
-	start time.Time
+	cfg     Config
+	cat     *catalog.Catalog
+	cache   *resultCache
+	pool    *wsem
+	flights *share.Registry
+	start   time.Time
 
 	compiledMu sync.Mutex
 	compiled   map[string]*list.Element
@@ -148,7 +166,7 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
 	}
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		cat:         cfg.Catalog,
 		cache:       newResultCache(cfg.CacheBytes),
@@ -160,6 +178,16 @@ func New(cfg Config) *Server {
 		preparedLL:  list.New(),
 		preparedGen: make(map[string]uint64),
 	}
+	// The pace car is the only client of a flight doing work, so it is
+	// the only one charged against the worker budget: the wheel hooks
+	// acquire and release the flight's cost as the wheel changes hands.
+	// engineOptions clamps every cost to the pool capacity, so the
+	// acquire can never deadlock on an over-wide grant.
+	s.flights = share.NewRegistry(0, share.Hooks{
+		OnWheel:     func(cost int) { s.pool.acquire(cost) },
+		OnWheelDone: func(cost int) { s.pool.release(cost) },
+	})
+	return s
 }
 
 // Handler returns the HTTP routing table.
@@ -185,6 +213,10 @@ type QueryOptions struct {
 	// Parallelism: 0/1 serial, N > 1 up to N staircase-join workers,
 	// -1 all cores. Clamped to the server's worker budget.
 	Parallelism int `json:"parallelism,omitempty"`
+	// MorselWorkers: 0/1 serial streaming, N > 1 up to N morsel workers
+	// inside each streaming cursor, -1 all cores. Clamped to the
+	// server's worker budget.
+	MorselWorkers int `json:"morselWorkers,omitempty"`
 	// NoIndex evaluates without the shared tag/kind index (per-query
 	// column rescans; results are identical — ablation knob).
 	NoIndex bool `json:"noIndex,omitempty"`
@@ -219,8 +251,12 @@ type QueryResult struct {
 	Nodes []int32 `json:"nodes"`
 	// Truncated reports that the limit stopped the evaluation while
 	// further results may exist.
-	Truncated bool   `json:"truncated,omitempty"`
-	Cached    bool   `json:"cached"`
+	Truncated bool `json:"truncated,omitempty"`
+	Cached    bool `json:"cached"`
+	// Coalesced reports that the query attached to an in-flight
+	// execution of the same plan instead of starting its own
+	// (Config.ShareScans).
+	Coalesced bool   `json:"coalesced,omitempty"`
 	ElapsedNs int64  `json:"elapsedNs"`
 	Error     string `json:"error,omitempty"`
 }
@@ -255,7 +291,12 @@ var pushdowns = map[string]engine.Pushdown{
 // join workers for one query than the units the query holds in the
 // pool, keeping the "cannot oversubscribe the machine" contract honest.
 func (s *Server) engineOptions(o *QueryOptions) (*engine.Options, error) {
-	opts := &engine.Options{Parallelism: s.cfg.DefaultParallelism, NoIndex: s.cfg.NoIndex, NoValueIndex: s.cfg.NoValueIndex}
+	opts := &engine.Options{
+		Parallelism:   s.cfg.DefaultParallelism,
+		MorselWorkers: s.cfg.MorselWorkers,
+		NoIndex:       s.cfg.NoIndex,
+		NoValueIndex:  s.cfg.NoValueIndex,
+	}
 	if o != nil {
 		if o.NoIndex {
 			opts.NoIndex = true
@@ -276,6 +317,9 @@ func (s *Server) engineOptions(o *QueryOptions) (*engine.Options, error) {
 		if o.Parallelism != 0 {
 			opts.Parallelism = o.Parallelism
 		}
+		if o.MorselWorkers != 0 {
+			opts.MorselWorkers = o.MorselWorkers
+		}
 	}
 	p := opts.Parallelism
 	if p < 0 {
@@ -288,14 +332,30 @@ func (s *Server) engineOptions(o *QueryOptions) (*engine.Options, error) {
 		p = 1
 	}
 	opts.Parallelism = p
+	mw := opts.MorselWorkers
+	if mw < 0 {
+		mw = runtime.GOMAXPROCS(0)
+	}
+	if mw > s.pool.cap {
+		mw = s.pool.cap
+	}
+	if mw < 1 {
+		mw = 1
+	}
+	opts.MorselWorkers = mw
 	return opts, nil
 }
 
 // workerCost is the number of worker-budget units a query holds while
-// evaluating: its effective intra-query parallelism (engineOptions has
-// already resolved and clamped it).
+// evaluating: its effective intra-query parallelism — batch partition
+// workers or streaming morsel workers, whichever is wider (engineOptions
+// has already resolved and clamped both).
 func workerCost(opts *engine.Options) int {
-	return opts.Parallelism
+	cost := opts.Parallelism
+	if opts.MorselWorkers > cost {
+		cost = opts.MorselWorkers
+	}
+	return cost
 }
 
 // cacheKey builds the result-cache key from the canonical
@@ -333,6 +393,10 @@ func preparedKey(docName string, gen uint64, opts *engine.Options, query string)
 	sb.WriteString(opts.Pushdown.String())
 	sb.WriteByte(0)
 	sb.WriteString(strconv.Itoa(opts.Parallelism))
+	if opts.MorselWorkers > 1 {
+		sb.WriteString(",morsels=")
+		sb.WriteString(strconv.Itoa(opts.MorselWorkers))
+	}
 	if opts.NoIndex {
 		sb.WriteString(",noindex")
 	}
@@ -485,6 +549,24 @@ func (s *Server) evalOne(ctx context.Context, h *catalog.Handle, query string, o
 		}
 		s.cacheMisses.Add(1)
 	}
+	if s.cfg.ShareScans && !noCache {
+		nodes, coalesced, serr := s.sharedEval(ctx, p, key, opts, limit)
+		elapsed := time.Since(start)
+		h.RecordQuery(elapsed)
+		res.ElapsedNs = elapsed.Nanoseconds()
+		if serr != nil {
+			if ctx.Err() != nil {
+				s.cancels.Add(1)
+			}
+			res.Error = serr.Error()
+			return res
+		}
+		res.Nodes = nodes
+		res.Count = len(nodes)
+		res.Truncated = limit > 0 && len(nodes) >= limit
+		res.Coalesced = coalesced
+		return res
+	}
 	cost := s.pool.acquire(workerCost(opts))
 	var r *engine.Result
 	if limit > 0 {
@@ -510,6 +592,67 @@ func (s *Server) evalOne(ctx context.Context, h *catalog.Handle, query string, o
 		s.cache.Put(key, r.Nodes)
 	}
 	return res
+}
+
+// limitCursor caps a streaming cursor at its flight's limit: the
+// coalesced counterpart of EvalLimit. Reporting exhaustion at the cap
+// makes the flight finish and close the underlying cursor, so the
+// kernels never scan past what the limit needs.
+type limitCursor struct {
+	cur interface {
+		Next() ([]int32, error)
+		Close()
+	}
+	left int
+}
+
+func (l *limitCursor) Next() ([]int32, error) {
+	if l.left <= 0 {
+		return nil, nil
+	}
+	b, err := l.cur.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if len(b) > l.left {
+		b = b[:l.left]
+	}
+	l.left -= len(b)
+	return b, nil
+}
+
+func (l *limitCursor) Close() { l.cur.Close() }
+
+// sharedEval evaluates through the pace-car registry: identical
+// concurrent cache misses share one execution keyed exactly like their
+// cache entry, and the completed buffer retires into the cache through
+// the flight. The returned bool reports coalescing (this client
+// attached to a flight another request created).
+func (s *Server) sharedEval(ctx context.Context, p *engine.Prepared, key string, opts *engine.Options, limit int) ([]int32, bool, error) {
+	open := func(fctx context.Context) (share.Cursor, error) {
+		cur, err := p.Cursor(fctx)
+		if err != nil {
+			return nil, err
+		}
+		if limit > 0 {
+			return &limitCursor{cur: cur, left: limit}, nil
+		}
+		return cur, nil
+	}
+	retire := func(nodes []int32) { s.cache.Put(key, nodes) }
+	f, created := s.flights.Join(key, workerCost(opts), open, retire)
+	defer f.Close()
+	var nodes []int32
+	for {
+		b, err := f.Next(ctx)
+		if err != nil {
+			return nil, !created, err
+		}
+		if b == nil {
+			return nodes, !created, nil
+		}
+		nodes = append(nodes, b...)
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -578,9 +721,14 @@ type StreamChunk struct {
 	Nodes []int32 `json:"nodes,omitempty"`
 	// Done marks the terminal line; Count is the total nodes streamed
 	// and Truncated whether a limit stopped the stream early.
-	Done      bool   `json:"done,omitempty"`
-	Count     int    `json:"count,omitempty"`
-	Truncated bool   `json:"truncated,omitempty"`
+	Done      bool `json:"done,omitempty"`
+	Count     int  `json:"count,omitempty"`
+	Truncated bool `json:"truncated,omitempty"`
+	// Coalesced (terminal line) reports that the stream attached to an
+	// in-flight execution instead of starting its own; Cached that it
+	// was served from the result cache (both Config.ShareScans).
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
 	ElapsedNs int64  `json:"elapsedNs,omitempty"`
 	Error     string `json:"error,omitempty"`
 }
@@ -616,6 +764,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	p, err := s.prepare(h, req.Query, opts)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.cfg.ShareScans && !req.NoCache {
+		s.streamShared(w, r, h, p, opts, req)
 		return
 	}
 	start := time.Now()
@@ -668,6 +820,83 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(StreamChunk{Done: true, Count: count, Truncated: truncated, ElapsedNs: elapsed.Nanoseconds()})
 }
 
+// streamShared answers POST /stream through the pace-car registry:
+// the stream is keyed exactly like its result-cache entry, a cache hit
+// replays the retired buffer of an earlier flight, and a miss joins
+// (or creates) the in-flight execution — identical concurrent cold
+// streams run the plan exactly once. Only the current driver holds
+// worker-budget units (via the registry's wheel hooks); followers are
+// blocked handlers replaying shared batches.
+func (s *Server) streamShared(w http.ResponseWriter, r *http.Request, h *catalog.Handle, p *engine.Prepared, opts *engine.Options, req QueryRequest) {
+	key := cacheKey(h.Name(), h.Generation(), p.Canon())
+	if req.Limit > 0 {
+		key += "\x00limit=" + strconv.Itoa(req.Limit)
+	}
+	start := time.Now()
+	s.streams.Add(1)
+	s.queries.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	finish := func(count int, coalesced, cached bool) {
+		elapsed := time.Since(start)
+		h.RecordQuery(elapsed)
+		_ = enc.Encode(StreamChunk{
+			Done:      true,
+			Count:     count,
+			Truncated: req.Limit > 0 && count >= req.Limit,
+			Coalesced: coalesced,
+			Cached:    cached,
+			ElapsedNs: elapsed.Nanoseconds(),
+		})
+	}
+	if nodes, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		const chunk = 1024
+		for off := 0; off < len(nodes); off += chunk {
+			end := min(off+chunk, len(nodes))
+			_ = enc.Encode(StreamChunk{Nodes: nodes[off:end]})
+		}
+		finish(len(nodes), false, true)
+		return
+	}
+	s.cacheMisses.Add(1)
+	open := func(fctx context.Context) (share.Cursor, error) {
+		cur, err := p.Cursor(fctx)
+		if err != nil {
+			return nil, err
+		}
+		if req.Limit > 0 {
+			return &limitCursor{cur: cur, left: req.Limit}, nil
+		}
+		return cur, nil
+	}
+	retire := func(nodes []int32) { s.cache.Put(key, nodes) }
+	f, created := s.flights.Join(key, workerCost(opts), open, retire)
+	defer f.Close()
+	count := 0
+	for {
+		b, err := f.Next(r.Context())
+		if err != nil {
+			if r.Context().Err() != nil {
+				s.cancels.Add(1)
+			}
+			s.errors.Add(1)
+			_ = enc.Encode(StreamChunk{Error: err.Error()})
+			return
+		}
+		if b == nil {
+			break
+		}
+		count += len(b)
+		_ = enc.Encode(StreamChunk{Nodes: b})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	finish(count, !created, false)
+}
+
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	query := q.Get("q")
@@ -683,6 +912,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		par = n
+	}
+	morsels := 0
+	if v := q.Get("morselWorkers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad morselWorkers %q", v)
+			return
+		}
+		morsels = n
 	}
 	noIndex := false
 	if v := q.Get("noIndex"); v != "" {
@@ -703,11 +941,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		noValueIndex = b
 	}
 	opts, err := s.engineOptions(&QueryOptions{
-		Strategy:     q.Get("strategy"),
-		Pushdown:     q.Get("pushdown"),
-		Parallelism:  par,
-		NoIndex:      noIndex,
-		NoValueIndex: noValueIndex,
+		Strategy:      q.Get("strategy"),
+		Pushdown:      q.Get("pushdown"),
+		Parallelism:   par,
+		MorselWorkers: morsels,
+		NoIndex:       noIndex,
+		NoValueIndex:  noValueIndex,
 	})
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
@@ -746,6 +985,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, out)
+	if s.cfg.ShareScans {
+		created, coalesced, handoffs := s.flights.Stats()
+		fmt.Fprintf(w, "share-scans: on flights=%d coalesced=%d handoffs=%d\n",
+			created, coalesced, handoffs)
+	}
 }
 
 func (s *Server) handleDocs(w http.ResponseWriter, _ *http.Request) {
@@ -776,6 +1020,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.preparedMu.Lock()
 	emit("plan_cache_entries", int64(len(s.prepared)))
 	s.preparedMu.Unlock()
+	created, coalesced, handoffs := s.flights.Stats()
+	emit("shared_flights_total", created)
+	emit("coalesced_queries_total", coalesced)
+	emit("pace_car_handoffs_total", handoffs)
+	emit("shared_flights_in_flight", int64(s.flights.InFlight()))
 	emit("errors_total", s.errors.Load())
 	emit("workers_in_use", int64(s.pool.inUse()))
 	emit("workers_capacity", int64(s.pool.cap))
@@ -794,6 +1043,13 @@ func (s *Server) CacheStats() (hits, misses int64) {
 // benchmarks).
 func (s *Server) PlanCacheStats() (hits, misses int64) {
 	return s.planHits.Load(), s.planMisses.Load()
+}
+
+// ShareStats reports pace-car registry counters — flights created
+// (cold executions started), queries coalesced onto an existing
+// flight, and mid-flight wheel handoffs (tests, benchmarks).
+func (s *Server) ShareStats() (created, coalesced, handoffs int64) {
+	return s.flights.Stats()
 }
 
 // openStatus maps a catalog.Open error to an HTTP status: unknown

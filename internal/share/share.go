@@ -1,0 +1,426 @@
+// Package share coalesces identical in-flight query executions: the
+// pace-car protocol behind xpathd's shared-scan mode.
+//
+// N clients that miss the result cache on the same key today each run
+// the full plan — N× the work for one answer. The registry here keeps
+// one "flight" per key (the server keys flights exactly like result
+// cache entries: document, generation, canonical plan, limit — so the
+// generation stamp that guards the cache against reload-after-eviction
+// guards the shared buffer too). The first client to need a batch
+// becomes the pace car: it drives the underlying cursor and appends
+// each batch to the flight's shared buffer. Followers that attach
+// mid-flight replay the already-produced prefix immediately, then
+// block on a broadcast for new batches — every client observes the
+// exact byte sequence a solo execution would have produced, because
+// there is only one execution.
+//
+// Three correctness traps shape the protocol:
+//
+//   - The wheel must survive its driver. The cursor is opened against
+//     the flight's own context, not the pace car's request context; a
+//     cancelled pace car releases the wheel between batches and the
+//     next live follower picks it up and keeps driving the same cursor
+//     (a "handoff"). Only when the last follower leaves is the flight
+//     abandoned: its context is cancelled, the cursor closed, and the
+//     registry slot freed for a fresh execution.
+//
+//   - Production is paced, not unbounded. The driver never runs more
+//     than maxLag batches ahead of the slowest attached follower
+//     (backpressure via the same broadcast channel), so one slow
+//     client bounds speculative buffering instead of forcing the
+//     flight to materialise arbitrarily far ahead of consumption. The
+//     consumed prefix is retained — it is the future cache entry.
+//
+//   - Coalescing and caching share one entry. On completion the flight
+//     retires its buffer through a callback (the server's cache.Put
+//     under the identical key) and leaves the registry, so the next
+//     cold client hits the cache instead of a dead flight.
+//
+// Lock ordering: Registry.mu before flight.mu, never the reverse.
+package share
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Cursor is the execution a flight drives: a batch iterator in final
+// output order. Next returns a nil batch at exhaustion; the returned
+// slice may be reused by the next call (the flight copies it into the
+// shared buffer before releasing the mutex).
+type Cursor interface {
+	Next() ([]int32, error)
+	Close()
+}
+
+// OpenFunc starts the underlying execution. It receives the flight's
+// context — cancelled only when the flight is abandoned, never when an
+// individual client disconnects.
+type OpenFunc func(ctx context.Context) (Cursor, error)
+
+// Hooks let the owner account for the wheel: the server maps OnWheel /
+// OnWheelDone to worker-semaphore acquire/release, so exactly one
+// client of a flight — the current driver — holds worker units, while
+// followers are just blocked handlers. Hooks are invoked outside all
+// registry and flight locks; OnWheel may block.
+type Hooks struct {
+	OnWheel     func(cost int)
+	OnWheelDone func(cost int)
+}
+
+// DefaultMaxLag is the backpressure window when NewRegistry is given a
+// non-positive one: the driver stays within this many batches of the
+// slowest live follower.
+const DefaultMaxLag = 8
+
+// ErrClosed is returned by Next on a follower that was already closed.
+var ErrClosed = errors.New("share: follower used after Close")
+
+// Registry is the set of in-flight executions, one per key. Safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	hooks   Hooks
+	maxLag  int
+
+	created   atomic.Int64
+	coalesced atomic.Int64
+	handoffs  atomic.Int64
+}
+
+// NewRegistry returns an empty registry. maxLag bounds how many
+// batches the pace car may run ahead of the slowest follower
+// (non-positive selects DefaultMaxLag).
+func NewRegistry(maxLag int, hooks Hooks) *Registry {
+	if maxLag <= 0 {
+		maxLag = DefaultMaxLag
+	}
+	return &Registry{flights: make(map[string]*flight), hooks: hooks, maxLag: maxLag}
+}
+
+// Stats reports lifetime counters: flights created (cold executions
+// actually started), joins coalesced onto an existing flight, and
+// pace-car handoffs (wheel passed to a different client after the
+// previous driver left mid-flight).
+func (r *Registry) Stats() (created, coalesced, handoffs int64) {
+	return r.created.Load(), r.coalesced.Load(), r.handoffs.Load()
+}
+
+// InFlight reports the number of live flights (tests, metrics).
+func (r *Registry) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.flights)
+}
+
+// Join attaches to the flight under key, creating it when absent (or
+// when the resident flight is already abandoned and merely awaiting
+// removal). The returned bool reports creation: the creating client is
+// the one whose open/retire/cost are bound to the flight, and — being
+// the first to call Next — almost always its initial pace car.
+func (r *Registry) Join(key string, cost int, open OpenFunc, retire func(nodes []int32)) (*Follower, bool) {
+	r.mu.Lock()
+	if fl, ok := r.flights[key]; ok {
+		fl.mu.Lock()
+		if !fl.abandoned {
+			f := &Follower{fl: fl}
+			fl.followers[f] = struct{}{}
+			fl.mu.Unlock()
+			r.mu.Unlock()
+			r.coalesced.Add(1)
+			return f, false
+		}
+		fl.mu.Unlock() // dying flight: replace it below
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	fl := &flight{
+		reg:       r,
+		key:       key,
+		cost:      cost,
+		open:      open,
+		retire:    retire,
+		ctx:       ctx,
+		cancel:    cancel,
+		notify:    make(chan struct{}),
+		offs:      []int{0},
+		followers: make(map[*Follower]struct{}),
+	}
+	f := &Follower{fl: fl}
+	fl.followers[f] = struct{}{}
+	r.flights[key] = fl
+	r.mu.Unlock()
+	r.created.Add(1)
+	return f, true
+}
+
+// remove deletes fl from the registry unless it was already replaced.
+func (r *Registry) remove(fl *flight) {
+	r.mu.Lock()
+	if r.flights[fl.key] == fl {
+		delete(r.flights, fl.key)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Registry) onWheel(cost int) {
+	if h := r.hooks.OnWheel; h != nil {
+		h(cost)
+	}
+}
+
+func (r *Registry) onWheelDone(cost int) {
+	if h := r.hooks.OnWheelDone; h != nil {
+		h(cost)
+	}
+}
+
+// flight is one shared execution. The buffer is a flat node slice with
+// batch boundaries in offs: batch i is flat[offs[i]:offs[i+1]], and
+// batches are immutable once appended, so followers hand out subslices
+// without copying (append may reallocate flat, which leaves previously
+// returned views on the old backing array — still valid).
+type flight struct {
+	reg    *Registry
+	key    string
+	cost   int
+	open   OpenFunc
+	retire func(nodes []int32)
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	notify    chan struct{} // closed and replaced on every state change
+	flat      []int32
+	offs      []int
+	done      bool
+	err       error
+	opened    bool
+	cur       Cursor
+	driver    *Follower
+	last      *Follower // last client to hold the wheel (handoff accounting)
+	lagWait   bool      // driver is parked on backpressure
+	abandoned bool
+	followers map[*Follower]struct{}
+}
+
+func (fl *flight) nbatches() int { return len(fl.offs) - 1 }
+
+func (fl *flight) batch(i int) []int32 { return fl.flat[fl.offs[i]:fl.offs[i+1]] }
+
+// broadcastLocked wakes every waiter (followers parked for new batches
+// and a driver parked on backpressure).
+func (fl *flight) broadcastLocked() {
+	close(fl.notify)
+	fl.notify = make(chan struct{})
+}
+
+// appendLocked copies one produced batch into the shared buffer.
+func (fl *flight) appendLocked(b []int32) {
+	fl.flat = append(fl.flat, b...)
+	fl.offs = append(fl.offs, len(fl.flat))
+}
+
+// lagExceededLocked reports whether producing another batch would put
+// the driver more than maxLag batches ahead of the slowest live
+// follower other than the driver itself (which always sits at the tip).
+func (fl *flight) lagExceededLocked(driver *Follower) bool {
+	min, any := 0, false
+	for f := range fl.followers {
+		if f == driver {
+			continue
+		}
+		if !any || f.pos < min {
+			min, any = f.pos, true
+		}
+	}
+	return any && fl.nbatches()-min >= fl.reg.maxLag
+}
+
+// Follower is one client's view of a flight. Not safe for concurrent
+// use by multiple goroutines (each client holds its own follower).
+type Follower struct {
+	fl     *flight
+	pos    int // next batch index to consume
+	closed bool
+}
+
+// Next returns the next result batch in document order, nil at
+// exhaustion. It serves the shared buffer when the follower lags
+// behind it, takes the wheel and drives the cursor when the buffer is
+// drained and nobody else is driving, and otherwise blocks until the
+// driver produces more or ctx is cancelled. A driver keeps the wheel
+// across calls; it releases it on completion, cursor error, or its own
+// ctx cancellation — in the latter case the flight stays live for the
+// remaining followers.
+func (f *Follower) Next(ctx context.Context) ([]int32, error) {
+	fl := f.fl
+	fl.mu.Lock()
+	for {
+		if f.closed {
+			fl.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if f.pos < fl.nbatches() {
+			b := fl.batch(f.pos)
+			f.pos++
+			if fl.lagWait {
+				fl.broadcastLocked() // un-park the driver
+			}
+			fl.mu.Unlock()
+			return b, nil
+		}
+		if fl.done {
+			err := fl.err
+			fl.mu.Unlock()
+			return nil, err
+		}
+		if fl.driver == f {
+			// Still holding the wheel from a previous call.
+			fl.mu.Unlock()
+			return f.drive(ctx)
+		}
+		if fl.driver == nil {
+			if fl.last != nil && fl.last != f {
+				fl.reg.handoffs.Add(1)
+			}
+			fl.driver, fl.last = f, f
+			fl.mu.Unlock()
+			fl.reg.onWheel(fl.cost)
+			return f.drive(ctx)
+		}
+		ch := fl.notify
+		fl.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		fl.mu.Lock()
+	}
+}
+
+// drive produces the next batch while f holds the wheel. Every return
+// path except a successful batch releases the wheel (and balances the
+// OnWheel hook); a successful batch keeps it for the next call.
+func (f *Follower) drive(ctx context.Context) ([]int32, error) {
+	fl := f.fl
+	fl.mu.Lock()
+	if !fl.opened {
+		fl.mu.Unlock()
+		cur, err := fl.open(fl.ctx) // flight ctx: outlives this client
+		fl.mu.Lock()
+		fl.opened = true
+		if err != nil {
+			return f.finishLocked(nil, err)
+		}
+		fl.cur = cur
+	}
+	// Backpressure: stay within maxLag batches of the slowest follower.
+	for fl.lagExceededLocked(f) {
+		if err := ctx.Err(); err != nil {
+			return f.releaseWheelLocked(err)
+		}
+		fl.lagWait = true
+		ch := fl.notify
+		fl.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+		fl.mu.Lock()
+		fl.lagWait = false
+	}
+	if err := ctx.Err(); err != nil {
+		return f.releaseWheelLocked(err)
+	}
+	cur := fl.cur
+	fl.mu.Unlock()
+
+	b, err := cur.Next() // the actual work happens outside all locks
+	fl.mu.Lock()
+	if err != nil {
+		cur.Close()
+		return f.finishLocked(nil, err)
+	}
+	if b == nil {
+		cur.Close()
+		return f.finishLocked(fl.flat, nil)
+	}
+	fl.appendLocked(b)
+	f.pos = fl.nbatches()
+	out := fl.batch(f.pos - 1)
+	fl.broadcastLocked()
+	fl.mu.Unlock()
+	return out, nil
+}
+
+// releaseWheelLocked hands the wheel back mid-flight (driver ctx
+// cancelled): the flight stays live and the next follower to wake
+// takes over the same cursor. Called with fl.mu held; unlocks it.
+func (f *Follower) releaseWheelLocked(err error) ([]int32, error) {
+	fl := f.fl
+	fl.driver = nil
+	fl.broadcastLocked()
+	fl.mu.Unlock()
+	fl.reg.onWheelDone(fl.cost)
+	return nil, err
+}
+
+// finishLocked terminates the flight: completion (err == nil, flat is
+// the full result, which retires into the owner's cache) or execution
+// error (propagated to every follower). Called with fl.mu held;
+// unlocks it.
+func (f *Follower) finishLocked(flat []int32, err error) ([]int32, error) {
+	fl := f.fl
+	fl.done = true
+	fl.err = err
+	fl.driver = nil
+	fl.broadcastLocked()
+	fl.mu.Unlock()
+	fl.reg.remove(fl) // future clients go through the cache instead
+	if err == nil && fl.retire != nil {
+		fl.retire(flat)
+	}
+	fl.reg.onWheelDone(fl.cost)
+	return nil, err
+}
+
+// Close detaches the follower. If it held the wheel, the wheel is
+// released for the next follower; if it was the last follower of an
+// unfinished flight, the flight is abandoned — context cancelled,
+// cursor closed, registry slot freed — and nothing retires. Close is
+// idempotent.
+func (f *Follower) Close() {
+	fl := f.fl
+	fl.mu.Lock()
+	if f.closed {
+		fl.mu.Unlock()
+		return
+	}
+	f.closed = true
+	delete(fl.followers, f)
+	wasDriver := fl.driver == f
+	if wasDriver {
+		fl.driver = nil
+	}
+	abandon := len(fl.followers) == 0 && !fl.done
+	if abandon {
+		fl.abandoned = true // Join treats the flight as gone from here on
+	}
+	cur := fl.cur
+	fl.broadcastLocked()
+	fl.mu.Unlock()
+	if wasDriver {
+		fl.reg.onWheelDone(fl.cost)
+	}
+	if abandon {
+		fl.cancel()
+		if cur != nil {
+			cur.Close()
+		}
+		fl.reg.remove(fl)
+	}
+}

@@ -103,6 +103,16 @@ type ServerConfig struct {
 	// MaxBatch caps the number of queries in one POST /query request;
 	// <= 0 defaults to 256.
 	MaxBatch int
+	// ShareScans coalesces identical in-flight executions: concurrent
+	// cache-missing requests with the same (doc, generation, canonical
+	// plan, limit) key share one pace-car execution, and the completed
+	// buffer retires into the result cache (xpathd -share-scans).
+	ShareScans bool
+	// MorselWorkers is the default intra-cursor morsel parallelism for
+	// streaming execution when a request does not set one (0/1 serial,
+	// N > 1 up to N workers, AutoParallelism = all cores; clamped by
+	// the worker budget). Output stays byte-identical to serial.
+	MorselWorkers int
 }
 
 // Server is the HTTP/JSON query service: POST /query (single and
@@ -122,6 +132,8 @@ func NewServer(cfg ServerConfig) *Server {
 		NoIndex:            cfg.NoIndex,
 		NoValueIndex:       cfg.NoValueIndex,
 		MaxBatch:           cfg.MaxBatch,
+		ShareScans:         cfg.ShareScans,
+		MorselWorkers:      cfg.MorselWorkers,
 	})}
 }
 
