@@ -40,6 +40,17 @@
 // pace_car_handoffs_total in /metrics. -morsel-workers N parallelizes
 // inside each streaming cursor with an order-restoring merge; output
 // is byte-identical to serial.
+//
+// Overload and failure behaviour: -request-timeout bounds every
+// evaluation (a request may lower it with timeoutMs; expiry answers
+// 408), -max-queue bounds the admission queue (beyond it new work is
+// shed with 503 + Retry-After, and GET /readyz reports saturation),
+// and -max-body-bytes caps request bodies. On SIGINT/SIGTERM the
+// daemon drains: /readyz flips to 503 so load balancers stop routing
+// here, then in-flight queries and streams finish within
+// -drain-timeout. Deterministic fault injection for chaos testing is
+// available through the STAIRCASE_FAULTS environment variable (see
+// internal/fault).
 package main
 
 import (
@@ -92,6 +103,10 @@ func main() {
 	useVIndex := flag.Bool("value-index", true, "keep the value index resident per document (false: value predicates re-evaluate per node; results identical)")
 	shareScans := flag.Bool("share-scans", true, "coalesce identical in-flight executions: concurrent cache misses on one (doc, plan, limit) key share a single pace-car execution")
 	morsels := flag.Int("morsel-workers", 0, "default morsel parallelism inside each streaming cursor (0/1 serial, -1 all cores; output identical to serial)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request evaluation deadline; requests may lower it with timeoutMs, expiry answers 408 (0 = none)")
+	maxQueue := flag.Int("max-queue", -1, "admission queue bound: past this many waiting requests new work is shed with 503 + Retry-After (-1 = 8x workers, 0 = unbounded)")
+	maxBody := flag.Int64("max-body-bytes", 1<<20, "request body cap on the JSON endpoints")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests and streams to finish")
 	flag.Parse()
 
 	if len(docs) == 0 && len(gens) == 0 {
@@ -139,21 +154,40 @@ func main() {
 		NoValueIndex:       !*useVIndex,
 		ShareScans:         *shareScans,
 		MorselWorkers:      *morsels,
+		RequestTimeout:     *reqTimeout,
+		MaxQueue:           *maxQueue,
+		MaxBodyBytes:       *maxBody,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// No WriteTimeout: POST /stream responses legitimately run for as
+	// long as the evaluation deadline allows; slow-client protection on
+	// the read side comes from the header/body timeouts and the body
+	// size cap instead.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	// Shutdown makes ListenAndServe return immediately, so main must
-	// wait for the drain to finish before exiting.
+	// wait for the drain to finish before exiting. BeginDrain flips
+	// /readyz to 503 first, so load balancers stop sending work before
+	// Shutdown starts waiting on the in-flight handlers (including
+	// streams, which hold their connection for the whole evaluation).
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Fprintln(os.Stderr, "xpathd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Fprintln(os.Stderr, "xpathd: draining")
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		_ = httpSrv.Shutdown(ctx)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "xpathd: drain timed out:", err)
+		}
 	}()
 
 	fmt.Fprintf(os.Stderr, "xpathd: serving %d document(s) on %s\n", len(cat.Names()), *addr)

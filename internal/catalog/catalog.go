@@ -40,6 +40,7 @@ import (
 
 	"staircase/internal/doc"
 	"staircase/internal/engine"
+	"staircase/internal/fault"
 )
 
 // ErrUnknownDocument is wrapped by Open when the name is not
@@ -240,18 +241,7 @@ func (c *Catalog) Open(name string) (*Handle, error) {
 		buildIndex := !c.noIndex
 		buildVIndex := !c.noVIndex
 		c.mu.Unlock()
-		d, format, err := loadDocument(path, format)
-		if err == nil && buildIndex {
-			// Ensure the shared index is resident before the entry goes
-			// live: an SCJ2 file already carries it, anything else builds
-			// it here, once — queries never pay the rescan.
-			d.TagIndex()
-		}
-		if err == nil && buildVIndex && d.HasValues() {
-			// Same for the value index (SCJ2 value-index section, or
-			// one build pass over the value columns).
-			d.ValueIndex()
-		}
+		d, format, err := safeLoad(path, format, buildIndex, buildVIndex)
 		c.mu.Lock()
 		if err != nil {
 			e.refs--
@@ -428,6 +418,51 @@ func (c *Catalog) Info() []DocInfo {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// safeLoad runs a load end to end — read, then ensure the shared
+// tag/kind index is resident before the entry goes live (an SCJ2 file
+// already carries it, anything else builds it here, once — queries
+// never pay the rescan), and likewise the value index for documents
+// that carry values — with panic containment: a panicking decoder
+// (corrupt file, injected fault) becomes a load error on this Open,
+// leaving the entry cold and cleanly retryable. "catalog.load" is the
+// fault-injection point.
+func safeLoad(path string, format Format, buildIndex, buildVIndex bool) (d *doc.Document, f Format, err error) {
+	f = format
+	defer func() {
+		if v := recover(); v != nil {
+			d, err = nil, fault.NewPanicError(v)
+		}
+	}()
+	if err := fault.Hit("catalog.load"); err != nil {
+		return nil, f, err
+	}
+	d, f, err = loadDocument(path, format)
+	if err != nil {
+		return nil, f, err
+	}
+	if buildIndex {
+		d.TagIndex()
+	}
+	if buildVIndex && d.HasValues() {
+		d.ValueIndex()
+	}
+	return d, f, nil
+}
+
+// OpenRefs returns the total open handle count across all entries —
+// zero once every Open has been balanced by Close. The chaos suite
+// asserts it to prove failing loads and recovered panics never leak
+// document references.
+func (c *Catalog) OpenRefs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, e := range c.entries {
+		total += e.refs
+	}
+	return total
 }
 
 // loadDocument reads a document from disk, sniffing the SCJ1/SCJ2

@@ -1,0 +1,133 @@
+package catalog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"staircase/internal/fault"
+)
+
+// faults configures the injection harness for one test and restores
+// the disarmed state afterwards.
+func faults(t *testing.T, spec string) {
+	t.Helper()
+	t.Cleanup(fault.Reset)
+	if err := fault.Configure(spec); err != nil {
+		t.Fatalf("fault.Configure(%q): %v", spec, err)
+	}
+}
+
+// TestFailingLoadLeaksNothing pins the load-failure contract under
+// concurrency: when every load fails, no Open leaks a reference or a
+// resident byte, and once the fault clears a fresh Open retries the
+// load cleanly.
+func TestFailingLoadLeaksNothing(t *testing.T) {
+	faults(t, "catalog.load:error:n=1")
+	c := New(0)
+	if err := c.Register("p", writeXML(t, "p.xml"), FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := c.Open("p")
+			if err == nil {
+				h.Close()
+				t.Error("Open succeeded with catalog.load faulted")
+				return
+			}
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Errorf("Open error %v, want injected fault", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if refs := c.OpenRefs(); refs != 0 {
+		t.Fatalf("failed loads leaked %d open refs", refs)
+	}
+	if b := c.ResidentBytes(); b != 0 {
+		t.Fatalf("failed loads left %d resident bytes", b)
+	}
+	if info := c.Info(); info[0].Resident || info[0].Loads != 0 {
+		t.Fatalf("failed loads left state: %+v", info[0])
+	}
+
+	fault.Reset()
+	h, err := c.Open("p")
+	if err != nil {
+		t.Fatalf("Open after clearing fault: %v", err)
+	}
+	defer h.Close()
+	if h.Generation() != 1 {
+		t.Fatalf("generation %d after first successful load, want 1", h.Generation())
+	}
+	if info := c.Info(); !info[0].Resident || info[0].Loads != 1 {
+		t.Fatalf("retry load state: %+v", info[0])
+	}
+}
+
+// TestPanickingLoadBecomesError pins panic containment at the load
+// boundary: a decoder panic surfaces as a load error on that Open —
+// the process survives, no reference leaks, and the next Open retries.
+func TestPanickingLoadBecomesError(t *testing.T) {
+	faults(t, "catalog.load:panic:n=1")
+	c := New(0)
+	if err := c.Register("p", writeXML(t, "p.xml"), FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("p"); err == nil {
+		t.Fatal("Open succeeded with a panicking load")
+	} else if !fault.IsPanic(err) {
+		t.Fatalf("Open error %v, want a recovered panic", err)
+	}
+	if refs := c.OpenRefs(); refs != 0 {
+		t.Fatalf("panicking load leaked %d open refs", refs)
+	}
+
+	fault.Reset()
+	h, err := c.Open("p")
+	if err != nil {
+		t.Fatalf("Open after clearing fault: %v", err)
+	}
+	h.Close()
+}
+
+// TestFlakyLoadAlternates drives a load that fails every second
+// attempt through repeated evict-reload cycles (a 1-byte residency
+// budget evicts the document the moment it is unreferenced): failed
+// and successful loads interleave, failures never disturb the
+// following reload, and references stay balanced throughout.
+func TestFlakyLoadAlternates(t *testing.T) {
+	faults(t, "catalog.load:error:n=2")
+	c := New(1)
+	if err := c.Register("p", writeXML(t, "p.xml"), FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for i := 0; i < 8; i++ {
+		h, err := c.Open("p")
+		if err != nil {
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("Open %d: %v, want injected fault", i, err)
+			}
+			failures++
+			continue
+		}
+		if h.Document() == nil {
+			t.Fatalf("Open %d returned nil document", i)
+		}
+		h.Close() // budget of 1 byte: evicted now, next Open reloads
+	}
+	if failures != 4 {
+		t.Fatalf("%d of 8 loads failed, want 4 (every 2nd)", failures)
+	}
+	if refs := c.OpenRefs(); refs != 0 {
+		t.Fatalf("flaky loads leaked %d open refs", refs)
+	}
+	if got, want := fault.Fired("catalog.load"), int64(4); got != want {
+		t.Fatalf("catalog.load fired %d times, want %d", got, want)
+	}
+}

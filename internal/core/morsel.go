@@ -41,6 +41,7 @@ import (
 
 	"staircase/internal/axis"
 	"staircase/internal/doc"
+	"staircase/internal/fault"
 )
 
 // morselsPerWorker is the task-count multiplier: more tasks than
@@ -73,6 +74,7 @@ type MorselCursor struct {
 
 	lookahead int
 	quit      bool
+	err       error // sticky: first task panic, returned by Next
 	wg        sync.WaitGroup
 
 	stats *Stats
@@ -163,16 +165,42 @@ func (m *MorselCursor) worker() {
 		m.claim++
 		m.mu.Unlock()
 
-		var ts Stats
-		out := m.tasks[t](&ts)
+		out, ts, err := m.runTask(t)
 
 		m.mu.Lock()
+		if err != nil {
+			// A panicking task poisons the cursor: record the first
+			// error, stop the pool, and wake the consumer so Next can
+			// surface it instead of blocking on a slot that will never
+			// fill.
+			if m.err == nil {
+				m.err = err
+			}
+			m.quit = true
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			return
+		}
 		m.results[t] = out
 		m.ready[t] = true
 		mergeWorkerStats(&m.acc, []Stats{ts})
 		m.cond.Broadcast()
 		m.mu.Unlock()
 	}
+}
+
+// runTask executes one morsel with panic containment: a panic in a
+// join kernel becomes an error on this cursor rather than a crashed
+// process (the worker runs on a raw goroutine, so an uncaught panic
+// here would be fatal to the whole server).
+func (m *MorselCursor) runTask(t int) (out []int32, ts Stats, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fault.NewPanicError(v)
+		}
+	}()
+	out = m.tasks[t](&ts)
+	return out, ts, nil
 }
 
 // Next implements JoinCursor: it fills dst (which must have spare
@@ -184,6 +212,9 @@ func (m *MorselCursor) Next(dst []int32, seekPre int32) ([]int32, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
+		if m.err != nil {
+			return nil, m.err
+		}
 		if m.quit || m.emit >= len(m.tasks) {
 			if m.emit >= len(m.tasks) {
 				// All tasks published, so every worker write to acc has
@@ -197,6 +228,9 @@ func (m *MorselCursor) Next(dst []int32, seekPre int32) ([]int32, error) {
 		}
 		for !m.ready[m.emit] && !m.quit {
 			m.cond.Wait()
+		}
+		if m.err != nil {
+			return nil, m.err
 		}
 		if m.quit {
 			if len(dst) > 0 {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"staircase/internal/fault"
+)
+
+// TestPanicBoxRethrowsFirstWorkerPanic pins the batch-join containment
+// contract: a panic on a raw worker goroutine is captured, wrapped as a
+// fault.PanicError, and re-raised on the caller's goroutine after
+// wg.Wait — never left to crash the process.
+func TestPanicBoxRethrowsFirstWorkerPanic(t *testing.T) {
+	var pb panicBox
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer pb.capture()
+			if i%2 == 0 {
+				panic("worker boom")
+			}
+		}(i)
+	}
+	wg.Wait()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("rethrow did not re-raise the worker panic")
+		}
+		err, ok := v.(error)
+		if !ok || !fault.IsPanic(err) {
+			t.Fatalf("rethrew %T %v, want *fault.PanicError", v, v)
+		}
+		if !strings.Contains(err.Error(), "worker boom") {
+			t.Fatalf("panic error %q lost the original value", err)
+		}
+	}()
+	pb.rethrow()
+	t.Fatal("unreachable: rethrow returned")
+}
+
+// TestPanicBoxNoopWithoutPanic pins that rethrow is a no-op on the
+// clean path.
+func TestPanicBoxNoopWithoutPanic(t *testing.T) {
+	var pb panicBox
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer pb.capture()
+	}()
+	wg.Wait()
+	pb.rethrow()
+}
+
+// newPanicMorsel builds a MorselCursor over hand-written tasks,
+// bypassing the axis task builders, to exercise the worker poisoning
+// path deterministically.
+func newPanicMorsel(tasks []morselTask, workers int) *MorselCursor {
+	m := &MorselCursor{
+		tasks:     tasks,
+		results:   make([][]int32, len(tasks)),
+		ready:     make([]bool, len(tasks)),
+		lookahead: 2 * workers,
+		nworkers:  workers,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go m.worker()
+	}
+	return m
+}
+
+// TestMorselPanicPoisonsCursor pins the morsel containment contract: a
+// panicking task surfaces from Next as a fault.PanicError instead of
+// crashing the pool, the error is sticky, and Close still joins every
+// worker.
+func TestMorselPanicPoisonsCursor(t *testing.T) {
+	tasks := []morselTask{
+		func(st *Stats) []int32 { return []int32{1, 2} },
+		func(st *Stats) []int32 { panic("task boom") },
+		func(st *Stats) []int32 { return []int32{9} },
+	}
+	m := newPanicMorsel(tasks, 1)
+	defer m.Close()
+	var firstErr error
+	for i := 0; i < len(tasks)+1; i++ {
+		b, err := m.Next(make([]int32, 0, 8), 0)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if b == nil {
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("Next never surfaced the task panic")
+	}
+	if !fault.IsPanic(firstErr) {
+		t.Fatalf("Next returned %v, want *fault.PanicError", firstErr)
+	}
+	if _, err := m.Next(make([]int32, 0, 8), 0); err == nil {
+		t.Fatal("poisoned cursor served another batch; the error must be sticky")
+	}
+}

@@ -29,7 +29,40 @@ import (
 
 	"staircase/internal/axis"
 	"staircase/internal/doc"
+	"staircase/internal/fault"
 )
+
+// panicBox collects the first panic of a worker pool so the caller
+// can rethrow it on its own goroutine after wg.Wait: the containment
+// boundaries above (server evaluation, pace-car drive) can only
+// recover panics that unwind the goroutine they run on — a raw panic
+// inside a worker would kill the whole process instead of failing one
+// query.
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+}
+
+// capture must be deferred inside the worker, after wg.Done is
+// already deferred (LIFO: capture recovers first, then Done fires).
+func (b *panicBox) capture() {
+	if v := recover(); v != nil {
+		pe := fault.NewPanicError(v) // worker stack captured here
+		b.mu.Lock()
+		if b.val == nil {
+			b.val = pe
+		}
+		b.mu.Unlock()
+	}
+}
+
+// rethrow re-raises the first captured panic on the caller's
+// goroutine; a no-op when every worker finished cleanly.
+func (b *panicBox) rethrow() {
+	if b.val != nil {
+		panic(b.val)
+	}
+}
 
 // Chunk is one worker's contiguous share of a pruned staircase:
 // context[Lo:Hi]. Chunks produced by PartitionStaircase are non-empty,
@@ -136,10 +169,12 @@ func ParallelDescendantJoin(d *doc.Document, context []int32, workers int, opts 
 	results := make([][]int32, len(chunks))
 	stats := make([]Stats, len(chunks))
 	var wg sync.WaitGroup
+	var pb panicBox
 	for i, ch := range chunks {
 		wg.Add(1)
 		go func(i int, ch Chunk) {
 			defer wg.Done()
+			defer pb.capture()
 			wo := *o
 			wo.AssumePruned = true
 			wo.PruneInline = false
@@ -162,6 +197,7 @@ func ParallelDescendantJoin(d *doc.Document, context []int32, workers int, opts 
 		}(i, ch)
 	}
 	wg.Wait()
+	pb.rethrow()
 	mergeWorkerStats(st, stats)
 	return concat32(results)
 }
@@ -192,10 +228,12 @@ func ParallelAncestorJoin(d *doc.Document, context []int32, workers int, opts *O
 	results := make([][]int32, len(chunks))
 	stats := make([]Stats, len(chunks))
 	var wg sync.WaitGroup
+	var pb panicBox
 	for i, ch := range chunks {
 		wg.Add(1)
 		go func(i int, ch Chunk) {
 			defer wg.Done()
+			defer pb.capture()
 			wo := *o
 			wo.AssumePruned = true
 			wo.PruneInline = false
@@ -210,6 +248,7 @@ func ParallelAncestorJoin(d *doc.Document, context []int32, workers int, opts *O
 		}(i, ch)
 	}
 	wg.Wait()
+	pb.rethrow()
 	mergeWorkerStats(st, stats)
 	return concat32(results)
 }
@@ -300,12 +339,14 @@ func parallelRangeScan(lo, hi int32, workers int, st *Stats, keep func(int32) bo
 	}
 	results := make([][]int32, workers)
 	var wg sync.WaitGroup
+	var pb panicBox
 	for w := 0; w < workers; w++ {
 		from := lo + int32(size*int64(w)/int64(workers))
 		to := lo + int32(size*int64(w+1)/int64(workers))
 		wg.Add(1)
 		go func(w int, from, to int32) {
 			defer wg.Done()
+			defer pb.capture()
 			out := make([]int32, 0, to-from)
 			for v := from; v < to; v++ {
 				if keep(v) {
@@ -316,6 +357,7 @@ func parallelRangeScan(lo, hi int32, workers int, st *Stats, keep func(int32) bo
 		}(w, from, to)
 	}
 	wg.Wait()
+	pb.rethrow()
 	return concat32(results)
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strings"
 
+	"staircase/internal/fault"
 	"staircase/internal/index"
 	"staircase/internal/vindex"
 )
@@ -306,6 +307,9 @@ func ReadBinary(r io.Reader) (*Document, error) {
 		return nil, fmt.Errorf("doc: corrupt binary document: %w", err)
 	}
 	if flags&flagHasIndex != 0 {
+		if err := fault.Hit("doc.index.read"); err != nil {
+			return nil, err
+		}
 		ix, err := index.ReadSection(br, int(n), d.names.Len(), NumKinds, uint8(Elem))
 		if err != nil {
 			return nil, fmt.Errorf("doc: corrupt index section: %w", err)
@@ -316,6 +320,9 @@ func ReadBinary(r io.Reader) (*Document, error) {
 		d.idx.Store(ix)
 	}
 	if flags&flagHasVIndex != 0 {
+		if err := fault.Hit("doc.vindex.read"); err != nil {
+			return nil, err
+		}
 		vix, err := vindex.ReadSection(br, int(n))
 		if err != nil {
 			return nil, fmt.Errorf("doc: corrupt value index section: %w", err)

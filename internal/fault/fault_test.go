@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// reset arms the spec for the test and disarms on cleanup, so fault
+// state never leaks across tests in the package.
+func reset(t *testing.T, spec string) {
+	t.Helper()
+	if err := Configure(spec); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(Reset)
+}
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled after Reset")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := Hit("cursor.next"); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+}
+
+func TestEveryNthDeterministic(t *testing.T) {
+	reset(t, "p:error:n=3")
+	var errs []int
+	for i := 1; i <= 9; i++ {
+		if err := Hit("p"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+			}
+			errs = append(errs, i)
+		}
+	}
+	if fmt.Sprint(errs) != "[3 6 9]" {
+		t.Fatalf("every-3rd fired at %v, want [3 6 9]", errs)
+	}
+	if Fired("p") != 3 {
+		t.Fatalf("Fired = %d, want 3", Fired("p"))
+	}
+}
+
+func TestProbabilityReproducible(t *testing.T) {
+	run := func() []int {
+		if err := Configure("p:error:p=0.5;seed=7"); err != nil {
+			t.Fatal(err)
+		}
+		var fired []int
+		for i := 0; i < 32; i++ {
+			if Hit("p") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	Reset()
+	if len(a) == 0 || len(a) == 32 {
+		t.Fatalf("p=0.5 over 32 hits fired %d times", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	reset(t, "p:panic:n=1")
+	err := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = NewPanicError(v)
+			}
+		}()
+		return Hit("p")
+	}()
+	if !IsPanic(err) {
+		t.Fatalf("want recovered panic, got %v", err)
+	}
+	if !IsInjectedPanic(err) {
+		t.Fatalf("injected panic not recognised: %v", err)
+	}
+	if IsInjectedPanic(errors.New("x")) {
+		t.Fatal("organic error classified as injected panic")
+	}
+	// Re-wrapping a contained panic at a second boundary must not
+	// recount it.
+	before := Recovered()
+	if NewPanicError(err.(*PanicError)) != err.(*PanicError) {
+		t.Fatal("NewPanicError did not pass through an existing PanicError")
+	}
+	if Recovered() != before {
+		t.Fatal("pass-through recounted the panic")
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	reset(t, "p:delay:d=30ms:n=1")
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay injected only %v", d)
+	}
+	// A cancelled ctx cuts the injected stall short.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start = time.Now()
+	if err := HitCtx(ctx, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("cancelled ctx still stalled %v", d)
+	}
+}
+
+func TestCtxTags(t *testing.T) {
+	reset(t, "p:error:n=1:tag=stream")
+	if err := Hit("p"); err != nil {
+		t.Fatalf("untagged hit fired tagged rule: %v", err)
+	}
+	if err := HitCtx(context.Background(), "p"); err != nil {
+		t.Fatalf("untagged ctx fired tagged rule: %v", err)
+	}
+	ctx := WithTag(context.Background(), "query")
+	if err := HitCtx(ctx, "p"); err != nil {
+		t.Fatalf("wrong tag fired rule: %v", err)
+	}
+	ctx = WithTag(ctx, "stream") // stamps nest
+	if err := HitCtx(ctx, "p"); err == nil {
+		t.Fatal("tagged hit did not fire")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"p",                  // no mode
+		"p:explode",          // unknown mode
+		":error",             // empty point
+		"p:error:p=2",        // probability out of range
+		"p:error:n=0",        // bad every-N
+		"p:delay",            // delay without duration
+		"p:error:wat",        // option without value
+		"p:error:q=1",        // unknown option
+		"seed=x",             // bad seed
+		"p:error:n=1;q:bang", // error in later item
+	} {
+		if err := Configure(spec); err == nil {
+			Reset()
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+	if err := Configure(""); err != nil || Enabled() {
+		t.Fatalf("empty spec: err=%v enabled=%v", err, Enabled())
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"staircase/internal/axis"
 	"staircase/internal/core"
 	"staircase/internal/doc"
+	"staircase/internal/fault"
 	"staircase/internal/xpath"
 )
 
@@ -1095,10 +1096,15 @@ func (p *Plan) CursorRoot(ctx context.Context) (*RunCursor, error) {
 
 // Next returns the next batch of result nodes (strictly increasing
 // pre ranks, valid until the following Next call), or nil when the
-// result is exhausted.
+// result is exhausted. "cursor.next" is the fault-injection point for
+// mid-stream operator failure.
 func (c *RunCursor) Next() ([]int32, error) {
 	if c.done {
 		return nil, nil
+	}
+	if err := fault.HitCtx(c.ec.ctx, "cursor.next"); err != nil {
+		c.done = true
+		return nil, err
 	}
 	b, err := c.root.next(c.seek)
 	if err != nil {

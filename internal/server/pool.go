@@ -1,23 +1,50 @@
 package server
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"staircase/internal/fault"
+)
+
+// errShed is returned by acquire when the admission queue is full:
+// the server maps it to 503 + Retry-After, shedding load instead of
+// queueing unboundedly.
+var errShed = errors.New("server overloaded: worker queue full")
 
 // wsem is a small weighted FIFO semaphore: the server's shared worker
-// budget. Inter-query concurrency and intra-query partition parallelism
-// compose through it — a request evaluating with engine parallelism p
-// holds p units for the duration of its evaluation, so the total number
-// of busy staircase-join workers across all in-flight queries never
-// exceeds the budget.
+// budget and its admission controller. Inter-query concurrency and
+// intra-query partition parallelism compose through it — a request
+// evaluating with engine parallelism p holds p units for the duration
+// of its evaluation, so the total number of busy staircase-join
+// workers across all in-flight queries never exceeds the budget.
 //
 // Waiters are served strictly in arrival order (like
 // golang.org/x/sync/semaphore): a wide request at the head of the queue
 // blocks narrower requests behind it until it gets its units, so a
 // steady stream of narrow queries can never starve a wide one.
+//
+// Two overload behaviours distinguish admission (acquire) from wheel
+// transfer (acquireWheel):
+//
+//   - acquire is context-aware and queue-bounded. A waiter whose ctx
+//     is cancelled abandons its queue slot (a disconnected client can
+//     never receive — and briefly hold — a grant it will not use), and
+//     once maxQueue waiters are parked, further acquires fail with
+//     errShed immediately instead of growing the queue.
+//
+//   - acquireWheel blocks unconditionally. It is reserved for shared
+//     flights passing the wheel between already-admitted clients: the
+//     work was admitted once, so a mid-flight driver change must not
+//     be shed.
 type wsem struct {
-	mu      sync.Mutex
-	cap     int
-	used    int
-	waiters []*waiter // FIFO
+	mu       sync.Mutex
+	cap      int
+	used     int
+	maxQueue int       // admission queue bound; 0 = unbounded
+	waiters  []*waiter // FIFO
+	shed     int64     // lifetime acquires rejected with errShed
 }
 
 type waiter struct {
@@ -25,17 +52,85 @@ type waiter struct {
 	ready chan struct{}
 }
 
-func newWsem(capacity int) *wsem {
+func newWsem(capacity, maxQueue int) *wsem {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &wsem{cap: capacity}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &wsem{cap: capacity, maxQueue: maxQueue}
 }
 
-// acquire blocks until n units are available and takes them. n is
-// clamped to the capacity so an over-wide request degrades to whole-pool
-// exclusivity instead of deadlocking.
-func (s *wsem) acquire(n int) int {
+// acquire blocks until n units are available and takes them,
+// returning the granted count (n clamped to the capacity, so an
+// over-wide request degrades to whole-pool exclusivity instead of
+// deadlocking). It fails fast with errShed when the admission queue
+// is at maxQueue, and with ctx.Err() when the context is cancelled
+// while queued — abandoning the queue slot without ever holding
+// units. A nil ctx never cancels.
+func (s *wsem) acquire(ctx context.Context, n int) (int, error) {
+	if err := fault.HitCtx(ctx, "pool.acquire"); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cap {
+		n = s.cap
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		done = ctx.Done()
+	}
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.used+n <= s.cap {
+		s.used += n
+		s.mu.Unlock()
+		return n, nil
+	}
+	if s.maxQueue > 0 && len(s.waiters) >= s.maxQueue {
+		s.shed++
+		s.mu.Unlock()
+		return 0, errShed
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	select {
+	case <-w.ready:
+		return n, nil
+	case <-done:
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation: the units are ours, give
+			// them straight back (and wake whoever they now unblock).
+			s.used -= n
+			s.grantLocked()
+			s.mu.Unlock()
+		default:
+			for i, q := range s.waiters {
+				if q == w {
+					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+					break
+				}
+			}
+			// Removing a queue head may unblock the requests behind it.
+			s.grantLocked()
+			s.mu.Unlock()
+		}
+		return 0, ctx.Err()
+	}
+}
+
+// acquireWheel blocks until n units are available and takes them,
+// bypassing the admission bound: flight wheel transfers between
+// already-admitted clients must never be shed.
+func (s *wsem) acquireWheel(n int) int {
 	if n < 1 {
 		n = 1
 	}
@@ -58,6 +153,12 @@ func (s *wsem) acquire(n int) int {
 func (s *wsem) release(n int) {
 	s.mu.Lock()
 	s.used -= n
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked serves queued waiters in FIFO order while units last.
+func (s *wsem) grantLocked() {
 	for len(s.waiters) > 0 {
 		w := s.waiters[0]
 		if s.used+w.n > s.cap {
@@ -67,7 +168,6 @@ func (s *wsem) release(n int) {
 		s.waiters = s.waiters[1:]
 		close(w.ready)
 	}
-	s.mu.Unlock()
 }
 
 // inUse reports the currently held units (metrics).
@@ -75,4 +175,28 @@ func (s *wsem) inUse() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.used
+}
+
+// queueDepth reports the number of parked waiters — the
+// worker_queue_depth gauge and the /readyz saturation signal.
+func (s *wsem) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// shedCount reports the lifetime number of acquires rejected at the
+// admission bound.
+func (s *wsem) shedCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shed
+}
+
+// saturated reports whether the admission queue is at its bound — the
+// /readyz "stop sending" signal. Always false when unbounded.
+func (s *wsem) saturated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxQueue > 0 && len(s.waiters) >= s.maxQueue
 }

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 )
@@ -22,12 +24,23 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	}
 }
 
+// mustAcquire is the old blocking acquire for tests that exercise the
+// FIFO discipline rather than admission control.
+func (s *wsem) mustAcquire(t *testing.T, n int) int {
+	t.Helper()
+	got, err := s.acquire(context.Background(), n)
+	if err != nil {
+		t.Fatalf("acquire(%d): %v", n, err)
+	}
+	return got
+}
+
 // TestWsemFIFO pins the no-starvation property: a wide request at the
 // head of the queue is served before narrower requests that arrived
 // after it, even while units keep becoming available.
 func TestWsemFIFO(t *testing.T) {
-	s := newWsem(2)
-	if got := s.acquire(5); got != 2 {
+	s := newWsem(2, 0)
+	if got := s.mustAcquire(t, 5); got != 2 {
 		t.Fatalf("acquire clamped to %d, want 2", got)
 	}
 	if s.inUse() != 2 {
@@ -35,11 +48,11 @@ func TestWsemFIFO(t *testing.T) {
 	}
 
 	wide := make(chan struct{})
-	go func() { s.acquire(2); close(wide) }()
+	go func() { s.acquire(context.Background(), 2); close(wide) }()
 	waitFor(t, "wide waiter", func() bool { return s.waiterCount() == 1 })
 
 	narrow := make(chan struct{})
-	go func() { s.acquire(1); close(narrow) }()
+	go func() { s.acquire(context.Background(), 1); close(narrow) }()
 	waitFor(t, "narrow waiter", func() bool { return s.waiterCount() == 2 })
 
 	// One unit free: the wide head still lacks units, and FIFO means the
@@ -67,4 +80,132 @@ func TestWsemFIFO(t *testing.T) {
 	if s.inUse() != 0 {
 		t.Fatalf("inUse %d after all releases, want 0", s.inUse())
 	}
+}
+
+// TestWsemShedsBeyondQueueBound pins the admission contract: with
+// maxQueue waiters already parked, further acquires fail fast with
+// errShed, the queue never grows past the bound, and shed requests
+// never held units.
+func TestWsemShedsBeyondQueueBound(t *testing.T) {
+	s := newWsem(1, 2)
+	s.mustAcquire(t, 1)
+
+	granted := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			if _, err := s.acquire(context.Background(), 1); err == nil {
+				granted <- struct{}{}
+			}
+		}()
+	}
+	waitFor(t, "two queued waiters", func() bool { return s.queueDepth() == 2 })
+	if !s.saturated() {
+		t.Fatal("queue at bound not reported saturated")
+	}
+
+	for i := 0; i < 5; i++ {
+		if _, err := s.acquire(context.Background(), 1); !errors.Is(err, errShed) {
+			t.Fatalf("acquire past the bound: err=%v, want errShed", err)
+		}
+		if s.queueDepth() != 2 {
+			t.Fatalf("shed acquire grew the queue to %d", s.queueDepth())
+		}
+	}
+	if s.shedCount() != 5 {
+		t.Fatalf("shedCount %d, want 5", s.shedCount())
+	}
+
+	s.release(1)
+	<-granted
+	s.release(1)
+	<-granted
+	s.release(1)
+	if s.inUse() != 0 || s.queueDepth() != 0 {
+		t.Fatalf("inUse=%d depth=%d after drain, want 0/0", s.inUse(), s.queueDepth())
+	}
+}
+
+// TestWsemCancelAbandonsQueueSlot pins the disconnected-client
+// contract: a queued waiter whose ctx is cancelled leaves the queue
+// without ever holding units, and waiters behind it are re-examined
+// (a cancelled wide head must not block a narrow successor forever).
+func TestWsemCancelAbandonsQueueSlot(t *testing.T) {
+	s := newWsem(2, 0)
+	s.mustAcquire(t, 1)
+
+	// Wide head: needs both units, so it parks.
+	ctx, cancel := context.WithCancel(context.Background())
+	headErr := make(chan error, 1)
+	go func() {
+		_, err := s.acquire(ctx, 2)
+		headErr <- err
+	}()
+	waitFor(t, "wide head queued", func() bool { return s.waiterCount() == 1 })
+
+	// Narrow successor: one unit is free, but FIFO parks it behind the
+	// head.
+	narrow := make(chan struct{})
+	go func() { s.acquire(context.Background(), 1); close(narrow) }()
+	waitFor(t, "narrow waiter queued", func() bool { return s.waiterCount() == 2 })
+
+	cancel()
+	if err := <-headErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v", err)
+	}
+	// The abandoned head's departure must unblock the narrow waiter.
+	select {
+	case <-narrow:
+	case <-time.After(2 * time.Second):
+		t.Fatal("narrow waiter still parked after head abandoned")
+	}
+	s.release(1)
+	s.release(1)
+	if s.inUse() != 0 || s.queueDepth() != 0 {
+		t.Fatalf("inUse=%d depth=%d, want 0/0 — cancelled waiter leaked units", s.inUse(), s.queueDepth())
+	}
+}
+
+// TestWsemCancelAfterGrantReturnsUnits covers the race where the
+// grant and the cancellation cross: the waiter must hand the units
+// straight back rather than leak them.
+func TestWsemCancelAfterGrantReturnsUnits(t *testing.T) {
+	s := newWsem(1, 0)
+	for i := 0; i < 200; i++ {
+		s.mustAcquire(t, 1)
+		ctx, cancel := context.WithCancel(context.Background())
+		res := make(chan error, 1)
+		go func() {
+			_, err := s.acquire(ctx, 1)
+			res <- err
+		}()
+		waitFor(t, "waiter queued", func() bool { return s.waiterCount() == 1 })
+		// Release and cancel concurrently: whichever wins, the invariant
+		// is that all units end up free.
+		go s.release(1)
+		cancel()
+		if err := <-res; err == nil {
+			s.release(1)
+		}
+		waitFor(t, "units returned", func() bool { return s.inUse() == 0 && s.queueDepth() == 0 })
+	}
+}
+
+// TestWsemAcquireWheelBypassesBound pins that wheel transfers between
+// already-admitted flight clients are never shed, even at a saturated
+// admission queue.
+func TestWsemAcquireWheelBypassesBound(t *testing.T) {
+	s := newWsem(1, 1)
+	s.mustAcquire(t, 1)
+	go s.acquire(context.Background(), 1) // fills the admission queue
+	waitFor(t, "admission queue full", func() bool { return s.saturated() })
+
+	got := make(chan int, 1)
+	go func() { got <- s.acquireWheel(1) }()
+	waitFor(t, "wheel waiter queued", func() bool { return s.queueDepth() == 2 })
+	s.release(1) // serves the admitted waiter first (FIFO)…
+	s.release(1) // …then the wheel transfer
+	if n := <-got; n != 1 {
+		t.Fatalf("acquireWheel granted %d, want 1", n)
+	}
+	s.release(1)
 }

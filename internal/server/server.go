@@ -28,7 +28,9 @@
 //
 // Endpoints: POST /query (single or batched queries against one
 // document), POST /stream (one query, results as NDJSON batches),
-// GET /explain, GET /docs, GET /healthz, GET /metrics.
+// GET /explain, GET /docs, GET /healthz (liveness), GET /readyz
+// (readiness: 503 while draining or at the admission bound),
+// GET /metrics.
 //
 // Request contexts propagate into plan execution: a client disconnect
 // or server timeout cancels the running cursors between batches, so
@@ -38,6 +40,22 @@
 // the staircase kernels stop after the N-th result — and the result
 // cache keys truncated results on (canonical plan, limit) so they
 // never collide with full results.
+//
+// Failure model. The server survives overload and misbehaving
+// operators rather than merely performing well on the happy path:
+//
+//   - Admission control: the worker semaphore's wait queue is bounded
+//     (Config.MaxQueue). At the bound, new work is shed immediately
+//     with 503 + Retry-After instead of queueing unboundedly, and a
+//     queued waiter whose client disconnects abandons its slot without
+//     ever holding units.
+//   - Deadlines: Config.RequestTimeout bounds every request; a request
+//     may lower (never raise) it with timeoutMs. Expiry surfaces as
+//     408 and cancels the running cursors between batches.
+//   - Panic containment: evaluation is recovered at every boundary —
+//     per batch item, per stream batch, per flight drive, per morsel
+//     worker — so a panicking operator costs one query a 500, not the
+//     process; its semaphore units release and its flight aborts.
 package server
 
 import (
@@ -56,6 +74,7 @@ import (
 
 	"staircase/internal/catalog"
 	"staircase/internal/engine"
+	"staircase/internal/fault"
 	"staircase/internal/share"
 )
 
@@ -96,7 +115,29 @@ type Config struct {
 	// N > 1 up to N workers, engine.AutoParallelism = all cores; clamped
 	// by the worker budget).
 	MorselWorkers int
+	// RequestTimeout bounds every request's evaluation; <= 0 means no
+	// server-side deadline. A request may lower (never raise) it with
+	// timeoutMs. Expiry surfaces as 408.
+	RequestTimeout time.Duration
+	// MaxQueue bounds the worker semaphore's admission queue: past
+	// MaxQueue parked waiters, new work is shed with 503 + Retry-After.
+	// 0 queues unboundedly (the pre-admission-control behaviour);
+	// < 0 picks an automatic bound of 8× the worker budget.
+	MaxQueue int
+	// MaxBodyBytes caps request bodies on POST /query and POST /stream;
+	// <= 0 defaults to 1 MiB.
+	MaxBodyBytes int64
 }
+
+// defaultMaxBodyBytes is the request-body cap applied when
+// Config.MaxBodyBytes is unset.
+const defaultMaxBodyBytes = 1 << 20
+
+// statusClientClosed is the nginx-convention code for "client closed
+// request": the client disconnected while queued or evaluating, so
+// there is nobody to write a response to. Used for metrics and batch
+// items; never written as an HTTP status.
+const statusClientClosed = 499
 
 // Server is the HTTP query service. Safe for concurrent use.
 type Server struct {
@@ -131,6 +172,8 @@ type Server struct {
 	planMisses  atomic.Int64
 	errors      atomic.Int64
 	cancels     atomic.Int64
+	timeouts    atomic.Int64
+	draining    atomic.Bool
 }
 
 type preparedEntry struct {
@@ -166,11 +209,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
 	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue < 0 {
+		maxQueue = 8 * workers
+	}
 	s := &Server{
 		cfg:         cfg,
 		cat:         cfg.Catalog,
 		cache:       newResultCache(cfg.CacheBytes),
-		pool:        newWsem(workers),
+		pool:        newWsem(workers, maxQueue),
 		start:       time.Now(),
 		compiled:    make(map[string]*list.Element),
 		compiledLL:  list.New(),
@@ -182,15 +229,23 @@ func New(cfg Config) *Server {
 	// the only one charged against the worker budget: the wheel hooks
 	// acquire and release the flight's cost as the wheel changes hands.
 	// engineOptions clamps every cost to the pool capacity, so the
-	// acquire can never deadlock on an over-wide grant.
+	// acquire can never deadlock on an over-wide grant. The take goes
+	// through the bounded, context-aware acquire: a candidate driver
+	// that is shed (or whose client is gone) fails alone — the flight
+	// stays live for the other followers, one of whom takes the wheel.
 	s.flights = share.NewRegistry(0, share.Hooks{
-		OnWheel:     func(cost int) { s.pool.acquire(cost) },
+		OnWheel: func(ctx context.Context, cost int) error {
+			_, err := s.pool.acquire(ctx, cost)
+			return err
+		},
 		OnWheelDone: func(cost int) { s.pool.release(cost) },
 	})
 	return s
 }
 
-// Handler returns the HTTP routing table.
+// Handler returns the HTTP routing table, wrapped in a panic-recovery
+// middleware: a panic that escapes a handler (e.g. out of a catalog
+// load) becomes a well-formed 500 instead of a dropped connection.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -198,8 +253,62 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /docs", s.handleDocs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics is the handler-goroutine safety net. Evaluation paths
+// recover closer to the panic (evalOne, the stream loops, flight
+// drives, morsel workers) so they can release resources and answer
+// precisely; this middleware catches what escapes anyway — net/http
+// would only log it and sever the connection, which a load balancer
+// cannot tell apart from a crash.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				// Best effort: if the handler already wrote headers the
+				// status is lost, but the connection still ends cleanly.
+				s.fail(w, http.StatusInternalServerError, "%v", fault.NewPanicError(v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// BeginDrain flips /readyz to 503 so load balancers stop routing new
+// work here; in-flight requests (including streams) keep running.
+// xpathd calls it on SIGINT/SIGTERM before http.Server.Shutdown, which
+// then waits for the in-flight handlers to finish.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called (tests, /readyz).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// maxBody is the request-body cap for the JSON endpoints.
+func (s *Server) maxBody() int64 {
+	if s.cfg.MaxBodyBytes > 0 {
+		return s.cfg.MaxBodyBytes
+	}
+	return defaultMaxBodyBytes
+}
+
+// requestCtx derives the evaluation context: the client's context
+// bounded by the server default timeout, optionally lowered — never
+// raised — by the request's timeoutMs.
+func (s *Server) requestCtx(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMs > 0 {
+		rd := time.Duration(timeoutMs) * time.Millisecond
+		if d <= 0 || rd < d {
+			d = rd
+		}
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
 }
 
 // QueryOptions selects the evaluation configuration, mirroring
@@ -240,6 +349,9 @@ type QueryRequest struct {
 	// limit needs); 0 returns all nodes. Limited results are cached
 	// under (canonical plan, limit).
 	Limit int `json:"limit,omitempty"`
+	// TimeoutMs lowers the server's request timeout for this request;
+	// it can never raise it. 0 keeps the server default.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // QueryResult is the outcome of one query of a batch.
@@ -259,6 +371,10 @@ type QueryResult struct {
 	Coalesced bool   `json:"coalesced,omitempty"`
 	ElapsedNs int64  `json:"elapsedNs"`
 	Error     string `json:"error,omitempty"`
+	// status classifies the error for HTTP propagation: 0 on success,
+	// else one of 400/408/499/500/503. Single-query requests surface it
+	// as the response code; batches stay 200 with per-item errors.
+	status int
 }
 
 // QueryResponse is the POST /query response. Results align with the
@@ -515,17 +631,51 @@ func (s *Server) dropStalePlansLocked(doc string, gen uint64) {
 	}
 }
 
+// classifyEvalErr fills a result's error and status from an
+// evaluation failure: shed → 503, deadline → 408, client gone → 499
+// (each counted), anything else — injected faults, recovered panics,
+// corrupt state — → 500.
+func (s *Server) classifyEvalErr(ctx context.Context, res *QueryResult, err error) {
+	res.Error = err.Error()
+	switch {
+	case errors.Is(err, errShed):
+		res.status = http.StatusServiceUnavailable
+	case ctx != nil && errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		res.status = http.StatusRequestTimeout
+	case ctx != nil && errors.Is(ctx.Err(), context.Canceled):
+		s.cancels.Add(1)
+		res.status = statusClientClosed
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		res.status = http.StatusRequestTimeout
+	default:
+		res.status = http.StatusInternalServerError
+	}
+}
+
 // evalOne answers a single query of a batch: prepare (plan caches),
 // result cache on the canonical plan (extended with the limit for
 // truncated results), then execute under the worker budget. ctx
 // cancellation (request timeout, client disconnect) stops the
-// execution between batches.
-func (s *Server) evalOne(ctx context.Context, h *catalog.Handle, query string, opts *engine.Options, noCache bool, limit int) QueryResult {
+// execution between batches. A panic anywhere below — batch items run
+// on their own goroutines, where an uncaught panic kills the process —
+// is recovered into a 500-classified result; the deferred release
+// keeps the worker budget balanced on that path.
+func (s *Server) evalOne(ctx context.Context, h *catalog.Handle, query string, opts *engine.Options, noCache bool, limit int) (res QueryResult) {
 	start := time.Now()
-	res := QueryResult{Query: query}
+	res = QueryResult{Query: query}
+	defer func() {
+		if v := recover(); v != nil {
+			res.Error = fault.NewPanicError(v).Error()
+			res.status = http.StatusInternalServerError
+			res.ElapsedNs = time.Since(start).Nanoseconds()
+		}
+	}()
 	p, err := s.prepare(h, query, opts)
 	if err != nil {
 		res.Error = err.Error()
+		res.status = http.StatusBadRequest
 		return res
 	}
 	key := cacheKey(h.Name(), h.Generation(), p.Canon())
@@ -555,10 +705,7 @@ func (s *Server) evalOne(ctx context.Context, h *catalog.Handle, query string, o
 		h.RecordQuery(elapsed)
 		res.ElapsedNs = elapsed.Nanoseconds()
 		if serr != nil {
-			if ctx.Err() != nil {
-				s.cancels.Add(1)
-			}
-			res.Error = serr.Error()
+			s.classifyEvalErr(ctx, &res, serr)
 			return res
 		}
 		res.Nodes = nodes
@@ -567,22 +714,26 @@ func (s *Server) evalOne(ctx context.Context, h *catalog.Handle, query string, o
 		res.Coalesced = coalesced
 		return res
 	}
-	cost := s.pool.acquire(workerCost(opts))
+	cost, err := s.pool.acquire(ctx, workerCost(opts))
+	if err != nil {
+		res.ElapsedNs = time.Since(start).Nanoseconds()
+		s.classifyEvalErr(ctx, &res, err)
+		return res
+	}
+	// Deferred (not inline after eval) so a panicking operator cannot
+	// leak its units past the recover above.
+	defer s.pool.release(cost)
 	var r *engine.Result
 	if limit > 0 {
 		r, err = p.EvalLimit(ctx, limit)
 	} else {
 		r, err = p.RunCtx(ctx)
 	}
-	s.pool.release(cost)
 	elapsed := time.Since(start)
 	h.RecordQuery(elapsed)
 	res.ElapsedNs = elapsed.Nanoseconds()
 	if err != nil {
-		if ctx.Err() != nil {
-			s.cancels.Add(1)
-		}
-		res.Error = err.Error()
+		s.classifyEvalErr(ctx, &res, err)
 		return res
 	}
 	res.Nodes = r.Nodes
@@ -657,7 +808,7 @@ func (s *Server) sharedEval(ctx context.Context, p *engine.Prepared, key string,
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody()))
 	if err := dec.Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
@@ -686,6 +837,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer h.Close()
 
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	ctx = fault.WithTag(ctx, "query")
+
 	resp := QueryResponse{Doc: h.Name(), Generation: h.Generation(), Results: make([]QueryResult, len(queries))}
 	// Each batch item is an independent goroutine; the worker semaphore
 	// inside evalOne bounds how many actually evaluate at once.
@@ -694,7 +849,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, q string) {
 			defer wg.Done()
-			resp.Results[i] = s.evalOne(r.Context(), h, q, opts, req.NoCache, req.Limit)
+			resp.Results[i] = s.evalOne(ctx, h, q, opts, req.NoCache, req.Limit)
 		}(i, q)
 	}
 	wg.Wait()
@@ -711,6 +866,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if res.Nodes == nil {
 			res.Nodes = []int32{} // marshal as [] rather than null
 		}
+	}
+	// A single-query request surfaces its item's failure as the HTTP
+	// status (503 carries Retry-After so clients back off; a gone
+	// client gets nothing). Batches stay 200 with per-item errors: a
+	// shed or timed-out item must not mask its siblings' results.
+	if len(queries) == 1 && resp.Results[0].status != 0 {
+		code := resp.Results[0].status
+		if code == statusClientClosed {
+			return
+		}
+		if code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, resp)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -741,7 +911,7 @@ type StreamChunk struct {
 // the units release.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody()))
 	if err := dec.Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
@@ -766,14 +936,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	ctx = fault.WithTag(ctx, "stream")
 	if s.cfg.ShareScans && !req.NoCache {
-		s.streamShared(w, r, h, p, opts, req)
+		s.streamShared(w, ctx, h, p, opts, req)
 		return
 	}
 	start := time.Now()
-	cost := s.pool.acquire(workerCost(opts))
+	cost, err := s.pool.acquire(ctx, workerCost(opts))
+	if err != nil {
+		s.failEval(w, ctx, err)
+		return
+	}
 	defer s.pool.release(cost)
-	cur, err := p.Cursor(r.Context())
+	cur, err := p.Cursor(ctx)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -788,13 +965,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	count := 0
 	truncated := false
 	for {
-		b, err := cur.Next()
+		b, err := safeStreamNext(cur)
 		if err != nil {
-			if r.Context().Err() != nil {
-				s.cancels.Add(1)
-			}
-			s.errors.Add(1)
-			_ = enc.Encode(StreamChunk{Error: err.Error()})
+			s.streamError(enc, ctx, err)
 			return
 		}
 		if b == nil {
@@ -820,6 +993,44 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(StreamChunk{Done: true, Count: count, Truncated: truncated, ElapsedNs: elapsed.Nanoseconds()})
 }
 
+// safeStreamNext pulls the next batch from a streaming cursor with
+// panic containment: the stream loop runs on the handler goroutine
+// mid-response, so a panicking operator must become an NDJSON error
+// line, not a severed connection.
+func safeStreamNext(cur interface{ Next() ([]int32, error) }) (b []int32, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fault.NewPanicError(v)
+		}
+	}()
+	return cur.Next()
+}
+
+// streamError terminates a stream with an error line, counting
+// timeouts and cancels like the batch path.
+func (s *Server) streamError(enc *json.Encoder, ctx context.Context, err error) {
+	var res QueryResult
+	s.classifyEvalErr(ctx, &res, err)
+	s.errors.Add(1)
+	_ = enc.Encode(StreamChunk{Error: err.Error()})
+}
+
+// failEval maps an admission or deadline failure to an HTTP response,
+// for endpoints that have not started writing a body: 503 carries
+// Retry-After, a gone client (499) gets nothing.
+func (s *Server) failEval(w http.ResponseWriter, ctx context.Context, err error) {
+	var res QueryResult
+	s.classifyEvalErr(ctx, &res, err)
+	switch res.status {
+	case statusClientClosed:
+		s.errors.Add(1)
+		return
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "1")
+	}
+	s.fail(w, res.status, "%v", err)
+}
+
 // streamShared answers POST /stream through the pace-car registry:
 // the stream is keyed exactly like its result-cache entry, a cache hit
 // replays the retired buffer of an earlier flight, and a miss joins
@@ -827,7 +1038,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // streams run the plan exactly once. Only the current driver holds
 // worker-budget units (via the registry's wheel hooks); followers are
 // blocked handlers replaying shared batches.
-func (s *Server) streamShared(w http.ResponseWriter, r *http.Request, h *catalog.Handle, p *engine.Prepared, opts *engine.Options, req QueryRequest) {
+func (s *Server) streamShared(w http.ResponseWriter, ctx context.Context, h *catalog.Handle, p *engine.Prepared, opts *engine.Options, req QueryRequest) {
 	key := cacheKey(h.Name(), h.Generation(), p.Canon())
 	if req.Limit > 0 {
 		key += "\x00limit=" + strconv.Itoa(req.Limit)
@@ -876,13 +1087,9 @@ func (s *Server) streamShared(w http.ResponseWriter, r *http.Request, h *catalog
 	defer f.Close()
 	count := 0
 	for {
-		b, err := f.Next(r.Context())
+		b, err := f.Next(ctx)
 		if err != nil {
-			if r.Context().Err() != nil {
-				s.cancels.Add(1)
-			}
-			s.errors.Add(1)
-			_ = enc.Encode(StreamChunk{Error: err.Error()})
+			s.streamError(enc, ctx, err)
 			return
 		}
 		if b == nil {
@@ -965,8 +1172,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	// Explain executes the plan, so it holds worker-budget units just
 	// like POST /query — explain traffic cannot oversubscribe the
-	// machine either.
-	cost := s.pool.acquire(workerCost(opts))
+	// machine, and under overload it is shed the same way.
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	cost, err := s.pool.acquire(ctx, workerCost(opts))
+	if err != nil {
+		s.failEval(w, ctx, err)
+		return
+	}
 	defer s.pool.release(cost)
 	if q.Get("format") == "json" {
 		out, err := p.ExplainJSON()
@@ -996,12 +1209,32 @@ func (s *Server) handleDocs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"docs": s.cat.Info()})
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It deliberately touches no shared locks and always answers 200 —
+// orchestrators restart on its failure, so it must not flap under
+// load. Routability belongs to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
-		"docs":          len(s.cat.Names()),
 	})
+}
+
+// handleReadyz is readiness: 503 while draining (shutdown in
+// progress) or while the admission queue is saturated, so load
+// balancers route new work elsewhere before it would be shed.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case s.pool.saturated():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":     "saturated",
+			"queueDepth": s.pool.queueDepth(),
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -1026,8 +1259,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit("pace_car_handoffs_total", handoffs)
 	emit("shared_flights_in_flight", int64(s.flights.InFlight()))
 	emit("errors_total", s.errors.Load())
+	emit("shed_queries_total", s.pool.shedCount())
+	emit("timeout_queries_total", s.timeouts.Load())
+	emit("panics_recovered_total", fault.Recovered())
 	emit("workers_in_use", int64(s.pool.inUse()))
 	emit("workers_capacity", int64(s.pool.cap))
+	emit("worker_queue_depth", int64(s.pool.queueDepth()))
 	emit("catalog_resident_bytes", s.cat.ResidentBytes())
 	emit("catalog_index_bytes", s.cat.IndexBytes())
 	emit("catalog_value_index_bytes", s.cat.ValueIndexBytes())

@@ -36,6 +36,12 @@
 //     under the identical key) and leaves the registry, so the next
 //     cold client hits the cache instead of a dead flight.
 //
+// The drive is also a panic-containment boundary: a panicking cursor
+// (or plan open) becomes a *fault.PanicError that finishes the flight
+// like any execution error — every follower sees it, the wheel hooks
+// balance, and no semaphore units leak — instead of unwinding through
+// the registry with capacity held.
+//
 // Lock ordering: Registry.mu before flight.mu, never the reverse.
 package share
 
@@ -44,6 +50,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"staircase/internal/fault"
 )
 
 // Cursor is the execution a flight drives: a batch iterator in final
@@ -64,9 +72,13 @@ type OpenFunc func(ctx context.Context) (Cursor, error)
 // OnWheelDone to worker-semaphore acquire/release, so exactly one
 // client of a flight — the current driver — holds worker units, while
 // followers are just blocked handlers. Hooks are invoked outside all
-// registry and flight locks; OnWheel may block.
+// registry and flight locks; OnWheel may block, waiting on ctx — the
+// candidate driver's own request context, so a queued wheel take
+// abandons when that client disconnects. An OnWheel error (admission
+// shed, cancellation) is returned to that candidate alone: the flight
+// stays live and another follower may take the wheel.
 type Hooks struct {
-	OnWheel     func(cost int)
+	OnWheel     func(ctx context.Context, cost int) error
 	OnWheelDone func(cost int)
 }
 
@@ -165,10 +177,11 @@ func (r *Registry) remove(fl *flight) {
 	r.mu.Unlock()
 }
 
-func (r *Registry) onWheel(cost int) {
+func (r *Registry) onWheel(ctx context.Context, cost int) error {
 	if h := r.hooks.OnWheel; h != nil {
-		h(cost)
+		return h(ctx, cost)
 	}
+	return nil
 }
 
 func (r *Registry) onWheelDone(cost int) {
@@ -283,12 +296,24 @@ func (f *Follower) Next(ctx context.Context) ([]int32, error) {
 			return f.drive(ctx)
 		}
 		if fl.driver == nil {
-			if fl.last != nil && fl.last != f {
-				fl.reg.handoffs.Add(1)
-			}
+			tookOver := fl.last != nil && fl.last != f
 			fl.driver, fl.last = f, f
 			fl.mu.Unlock()
-			fl.reg.onWheel(fl.cost)
+			if err := fl.reg.onWheel(ctx, fl.cost); err != nil {
+				// Admission denied this candidate the wheel (shed, or its
+				// own ctx cancelled while queued): put the wheel back for
+				// the next follower and fail only this client.
+				fl.mu.Lock()
+				if fl.driver == f {
+					fl.driver = nil
+				}
+				fl.broadcastLocked()
+				fl.mu.Unlock()
+				return nil, err
+			}
+			if tookOver {
+				fl.reg.handoffs.Add(1)
+			}
 			return f.drive(ctx)
 		}
 		ch := fl.notify
@@ -302,6 +327,42 @@ func (f *Follower) Next(ctx context.Context) ([]int32, error) {
 	}
 }
 
+// safeOpen contains panics out of the flight's OpenFunc: a panicking
+// plan open must abort the flight with an error, not unwind through
+// the registry with the wheel still held.
+func safeOpen(open OpenFunc, ctx context.Context) (cur Cursor, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fault.NewPanicError(v)
+		}
+	}()
+	return open(ctx)
+}
+
+// safeNext pulls one batch from the flight cursor with the pace-car
+// containment boundary around it: a panicking operator (or an
+// injected share.drive fault) becomes an error that finishes the
+// flight — propagated to every follower, wheel released, semaphore
+// hooks balanced — instead of unwinding with capacity held.
+func safeNext(ctx context.Context, cur Cursor) (b []int32, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fault.NewPanicError(v)
+		}
+	}()
+	if err := fault.HitCtx(ctx, "share.drive"); err != nil {
+		return nil, err
+	}
+	return cur.Next()
+}
+
+// safeClose closes the flight cursor, swallowing a panic from a
+// cursor already broken by the failure that is being cleaned up.
+func safeClose(cur Cursor) {
+	defer func() { _ = recover() }()
+	cur.Close()
+}
+
 // drive produces the next batch while f holds the wheel. Every return
 // path except a successful batch releases the wheel (and balances the
 // OnWheel hook); a successful batch keeps it for the next call.
@@ -310,7 +371,7 @@ func (f *Follower) drive(ctx context.Context) ([]int32, error) {
 	fl.mu.Lock()
 	if !fl.opened {
 		fl.mu.Unlock()
-		cur, err := fl.open(fl.ctx) // flight ctx: outlives this client
+		cur, err := safeOpen(fl.open, fl.ctx) // flight ctx: outlives this client
 		fl.mu.Lock()
 		fl.opened = true
 		if err != nil {
@@ -339,14 +400,14 @@ func (f *Follower) drive(ctx context.Context) ([]int32, error) {
 	cur := fl.cur
 	fl.mu.Unlock()
 
-	b, err := cur.Next() // the actual work happens outside all locks
+	b, err := safeNext(ctx, cur) // the actual work happens outside all locks
 	fl.mu.Lock()
 	if err != nil {
-		cur.Close()
+		safeClose(cur)
 		return f.finishLocked(nil, err)
 	}
 	if b == nil {
-		cur.Close()
+		safeClose(cur)
 		return f.finishLocked(fl.flat, nil)
 	}
 	fl.appendLocked(b)
@@ -419,7 +480,7 @@ func (f *Follower) Close() {
 	if abandon {
 		fl.cancel()
 		if cur != nil {
-			cur.Close()
+			safeClose(cur)
 		}
 		fl.reg.remove(fl)
 	}

@@ -14,6 +14,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"staircase/internal/fault"
 )
 
 var errBoom = errors.New("boom")
@@ -448,7 +450,7 @@ func TestCoalesceCounters(t *testing.T) {
 func TestWheelHooksBalance(t *testing.T) {
 	var acquired, released atomic.Int64
 	hooks := Hooks{
-		OnWheel:     func(cost int) { acquired.Add(int64(cost)) },
+		OnWheel:     func(_ context.Context, cost int) error { acquired.Add(int64(cost)); return nil },
 		OnWheelDone: func(cost int) { released.Add(int64(cost)) },
 	}
 	r := NewRegistry(0, hooks)
@@ -479,5 +481,111 @@ func TestNextAfterCloseFails(t *testing.T) {
 	f.Close()
 	if _, err := f.Next(context.Background()); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Next after Close = %v, want ErrClosed", err)
+	}
+}
+
+// panicCursor panics on its nth Next call — the stand-in for a broken
+// operator inside the pace car.
+type panicCursor struct {
+	fakeCursor
+	panicAt int
+}
+
+func (c *panicCursor) Next() ([]int32, error) {
+	if c.i == c.panicAt {
+		panic("operator exploded")
+	}
+	return c.fakeCursor.Next()
+}
+
+// TestPanicInDriveAbortsFlight pins the pace-car containment
+// boundary: a panicking cursor finishes the flight with a
+// *fault.PanicError delivered to every follower, balances the wheel
+// hooks, closes the cursor, and frees the registry slot — no wedged
+// followers, no leaked capacity.
+func TestPanicInDriveAbortsFlight(t *testing.T) {
+	var acquired, released atomic.Int64
+	hooks := Hooks{
+		OnWheel:     func(_ context.Context, cost int) error { acquired.Add(int64(cost)); return nil },
+		OnWheelDone: func(cost int) { released.Add(int64(cost)) },
+	}
+	r := NewRegistry(0, hooks)
+	closed := &atomic.Bool{}
+	cur := &panicCursor{fakeCursor: fakeCursor{batches: mkBatches(4), errAt: -1, closed: closed}, panicAt: 2}
+
+	pace, _ := r.Join("k", 2, func(context.Context) (Cursor, error) { return cur, nil }, nil)
+	follower, _ := r.Join("k", 2, nil, nil)
+	defer pace.Close()
+	defer follower.Close()
+
+	errs := make(chan error, 2)
+	for _, f := range []*Follower{pace, follower} {
+		go func(f *Follower) {
+			for {
+				b, err := f.Next(context.Background())
+				if err != nil || b == nil {
+					errs <- err
+					return
+				}
+			}
+		}(f)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !fault.IsPanic(err) {
+			t.Fatalf("follower %d got %v, want recovered panic", i, err)
+		}
+	}
+	if !closed.Load() {
+		t.Fatal("cursor not closed after panic")
+	}
+	if r.InFlight() != 0 {
+		t.Fatalf("flight still registered after panic")
+	}
+	if a, rl := acquired.Load(), released.Load(); a != rl || a == 0 {
+		t.Fatalf("hook units acquired/released = %d/%d, want balanced and nonzero", a, rl)
+	}
+}
+
+// TestPanicInOpenAbortsFlight pins containment of a panicking
+// OpenFunc: the flight finishes with the recovered panic as its error
+// rather than unwinding with the wheel held.
+func TestPanicInOpenAbortsFlight(t *testing.T) {
+	r := NewRegistry(0, Hooks{})
+	f, _ := r.Join("k", 1, func(context.Context) (Cursor, error) { panic("open exploded") }, nil)
+	defer f.Close()
+	if _, err := f.Next(context.Background()); !fault.IsPanic(err) {
+		t.Fatalf("Next after panicking open = %v, want recovered panic", err)
+	}
+	if r.InFlight() != 0 {
+		t.Fatal("flight still registered after open panic")
+	}
+}
+
+// TestWheelDeniedFailsOnlyThatClient pins the admission interaction:
+// when OnWheel rejects a candidate driver (shed or cancelled while
+// queued), only that client fails — the flight stays live and the
+// next follower takes the wheel and finishes the work.
+func TestWheelDeniedFailsOnlyThatClient(t *testing.T) {
+	var denials atomic.Int64
+	hooks := Hooks{
+		OnWheel: func(_ context.Context, cost int) error {
+			if denials.Add(1) == 1 {
+				return errBoom // first candidate is shed
+			}
+			return nil
+		},
+	}
+	r := NewRegistry(0, hooks)
+	batches := mkBatches(3)
+	cur := &fakeCursor{batches: batches, errAt: -1}
+	shedded, _ := r.Join("k", 1, openFake(cur), nil)
+	survivor, _ := r.Join("k", 1, nil, nil)
+	defer shedded.Close()
+
+	if _, err := shedded.Next(context.Background()); !errors.Is(err, errBoom) {
+		t.Fatalf("denied candidate got %v, want errBoom", err)
+	}
+	if got := drain(t, survivor); !eq32(got, concat(batches)) {
+		t.Fatalf("survivor drained %v, want full result", got)
 	}
 }

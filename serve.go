@@ -3,6 +3,7 @@ package staircase
 import (
 	"io"
 	"net/http"
+	"time"
 
 	"staircase/internal/catalog"
 	"staircase/internal/server"
@@ -113,11 +114,26 @@ type ServerConfig struct {
 	// N > 1 up to N workers, AutoParallelism = all cores; clamped by
 	// the worker budget). Output stays byte-identical to serial.
 	MorselWorkers int
+	// RequestTimeout bounds every request's evaluation; <= 0 means no
+	// server-side deadline. A request may lower — never raise — it with
+	// its timeoutMs field. Expiry surfaces as HTTP 408 (xpathd
+	// -request-timeout).
+	RequestTimeout time.Duration
+	// MaxQueue bounds the worker semaphore's admission queue: past
+	// MaxQueue parked requests, new work is shed immediately with
+	// 503 + Retry-After instead of queueing unboundedly. 0 queues
+	// unboundedly; < 0 picks an automatic bound of 8× the worker
+	// budget (xpathd -max-queue).
+	MaxQueue int
+	// MaxBodyBytes caps request bodies on the JSON endpoints; <= 0
+	// defaults to 1 MiB (xpathd -max-body-bytes).
+	MaxBodyBytes int64
 }
 
 // Server is the HTTP/JSON query service: POST /query (single and
 // batched), GET /explain (text and ?format=json), GET /docs,
-// /healthz, /metrics. Safe for concurrent use.
+// /healthz (liveness), /readyz (readiness), /metrics. Safe for
+// concurrent use.
 type Server struct {
 	s *server.Server
 }
@@ -134,8 +150,17 @@ func NewServer(cfg ServerConfig) *Server {
 		MaxBatch:           cfg.MaxBatch,
 		ShareScans:         cfg.ShareScans,
 		MorselWorkers:      cfg.MorselWorkers,
+		RequestTimeout:     cfg.RequestTimeout,
+		MaxQueue:           cfg.MaxQueue,
+		MaxBodyBytes:       cfg.MaxBodyBytes,
 	})}
 }
 
 // Handler returns the HTTP routing table, ready for http.Server.
 func (s *Server) Handler() http.Handler { return s.s.Handler() }
+
+// BeginDrain flips /readyz to 503 so load balancers stop routing new
+// work here while in-flight requests (including streams) finish. Call
+// it on shutdown before http.Server.Shutdown, which then waits for
+// the in-flight handlers.
+func (s *Server) BeginDrain() { s.s.BeginDrain() }
