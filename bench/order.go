@@ -1,0 +1,116 @@
+// The join-ordering experiment: a multi-predicate XMark step whose
+// selective predicate sits last in source order, evaluated with the
+// statistics-exact greedy ordering pass (the tiny value fragment is
+// hoisted to the front of the filter chain and probed input-seek)
+// versus Options.NoReorder (source-order evaluation sweeps the full
+// candidate set through the cheap-but-unselective predicate first).
+// A second row drains the streaming executor on a query whose observed
+// selectivities collapse against the estimates, forcing the chain
+// cursor's mid-flight re-plan.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"staircase/internal/engine"
+)
+
+// The ordering-experiment queries: QOrderLate carries a highly
+// selective numeric comparison (initial > 490 keeps a handful of
+// auctions; the generator draws prices below 501) written AFTER a
+// near-universal structural predicate, the worst case for source-order
+// evaluation. QOrderAdapt pairs the same broad structural filter with
+// an equality that matches almost nothing — the estimates (halve per
+// filter) diverge from the observed selectivities within the first
+// cursor batch, so the drain exercises the adaptive re-plan.
+const (
+	QOrderLate  = "//open_auction[annotation/description//keyword][initial > 490]"
+	QOrderAdapt = "//open_auction[annotation/description//keyword][seller/@person = 'person7']"
+)
+
+// Ordering regenerates the join-ordering ablation: the late-selective
+// query with the greedy pass (exact fragment counts hoist the value
+// semijoin first) versus NoReorder, plus the adaptive query drained
+// through the cursor executor both ways. Both sides run prepared plans
+// over warm indexes — compile-time ordering is the point, so the
+// timed region is pure execution.
+func Ordering(c *Corpus, sizes []float64) Table {
+	t := Table{
+		ID:     "order",
+		Title:  "join ordering: greedy exact-count filter order vs source order",
+		Header: []string{"size[MB]", "case", "result", "source[ms]", "greedy[ms]", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("late = %s: the selective comparison is written last", QOrderLate),
+			fmt.Sprintf("adapt = %s: cursor drain, estimates diverge mid-flight", QOrderAdapt),
+			"source = Options.NoReorder: predicates evaluate in the order written",
+			"greedy = exact fragment counts rank the filter chain; the chain cursor re-plans when observed selectivity strays 4x from the estimate",
+			"acceptance: late warm greedy eval >= 3x faster than source order",
+		},
+	}
+	ctx := context.Background()
+	for _, mb := range sizes {
+		d := c.ValueDoc(mb)
+		e := engine.New(d)
+		d.TagIndex() // warm structural fragments (the count source) on both sides
+		if d.RebuildValueIndex() == nil {
+			panic("bench: value corpus has no values")
+		}
+
+		run := func(q string, opts *engine.Options) (time.Duration, int) {
+			p, err := e.PrepareString(q, opts)
+			if err != nil {
+				panic(err)
+			}
+			var n int
+			dur := timeIt(5, func() {
+				r, err := p.Run()
+				if err != nil {
+					panic(err)
+				}
+				n = len(r.Nodes)
+			})
+			return dur, n
+		}
+		drain := func(q string, opts *engine.Options) (time.Duration, int) {
+			p, err := e.PrepareString(q, opts)
+			if err != nil {
+				panic(err)
+			}
+			var n int
+			dur := timeIt(5, func() {
+				r, err := p.EvalLimit(ctx, math.MaxInt)
+				if err != nil {
+					panic(err)
+				}
+				n = len(r.Nodes)
+			})
+			return dur, n
+		}
+
+		srcOpts := &engine.Options{NoReorder: true}
+		for _, cs := range []struct {
+			name string
+			q    string
+			eval func(string, *engine.Options) (time.Duration, int)
+		}{
+			{"late-batch", QOrderLate, run},
+			{"late-drain", QOrderLate, drain},
+			{"adapt-drain", QOrderAdapt, drain},
+		} {
+			src, n1 := cs.eval(cs.q, srcOpts)
+			greedy, n2 := cs.eval(cs.q, nil)
+			if n1 != n2 {
+				panic(fmt.Sprintf("bench: ordering result mismatch (%s): %d vs %d", cs.name, n1, n2))
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.1f", mb), cs.name, fmt.Sprint(n1),
+				ms(src), ms(greedy),
+				fmt.Sprintf("%.1fx", float64(src.Nanoseconds())/float64(max(greedy.Nanoseconds(), 1))),
+			})
+		}
+	}
+	return t
+}

@@ -5,8 +5,10 @@
 // tag/kind-index hot path (warm index-backed pushdown, the cold rescan
 // baseline, and the index build itself), the value-index hot path
 // (warm value-fragment semijoin, the per-node re-evaluation baseline,
-// the value-index build, and top-1 contains() latency), plan
-// compilation, the query server's warm plan-cache request path, the
+// the value-index build, and top-1 contains() latency), the greedy
+// filter-ordering hot path (warm reordered evaluation, the
+// source-order baseline, and the adaptive re-planning cursor drain),
+// plan compilation, the query server's warm plan-cache request path, the
 // shared-scan fan-out (8 coalesced cold streams per op) and the
 // morsel-parallel cursor drain — i.e. the hot paths every
 // perf-oriented PR touches. cmd/benchrun
@@ -19,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"testing"
 
@@ -125,6 +128,28 @@ func smokeFamily(c *Corpus) []struct {
 		// once per candidate node.
 		{"ValuePushdownWarm", evalV(QValueRange, nil)},
 		{"ValuePushdownRescan", evalV(QValueRange, &engine.Options{NoValueIndex: true})},
+		// The ordering hot path: warm = the greedy pass hoists the
+		// selective trailing comparison to the front of the filter
+		// chain; rescan = Options.NoReorder, source-order evaluation
+		// sweeping every candidate through the broad filter first.
+		{"PlanOrderWarm", evalV(QOrderLate, nil)},
+		{"PlanOrderRescan", evalV(QOrderLate, &engine.Options{NoReorder: true})},
+		// The adaptive chain cursor: a full drain whose observed
+		// selectivities collapse against the halving estimates, so
+		// every op pays one mid-flight re-plan.
+		{"AdaptiveReplan", func(b *testing.B) {
+			p, err := ve.PrepareString(QOrderAdapt, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.EvalLimit(ctx, math.MaxInt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"ValueIndexBuild", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if vd.RebuildValueIndex() == nil {

@@ -85,8 +85,8 @@ func TestSmokeFamilyRuns(t *testing.T) {
 	// benchmark bodies execute; the real measurement happens in CI.
 	c := NewCorpus()
 	fam := smokeFamily(c)
-	if len(fam) != 19 {
-		t.Fatalf("family has %d members, want 19", len(fam))
+	if len(fam) != 22 {
+		t.Fatalf("family has %d members, want 22", len(fam))
 	}
 	for _, bm := range fam {
 		bm.fn(&testing.B{N: 1})

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|index|value|parallel|copyscan|mpmgjn|storage|server|stream|share]
+//	benchrun [-exp all|table1|fig3|fig11a|fig11b|fig11c|fig11d|fig11e|fig11f|window|frag|index|value|order|parallel|copyscan|mpmgjn|storage|server|stream|share]
 //	         [-sizes 0.5,1,2,4] [-parallel-size 4] [-workers 1,2,4,8] [-clients 1,2,4,8]
 //	         [-parallel N] [-out file] [-json]
 //
@@ -31,7 +31,9 @@
 // index family: warm index-backed pushdown, the cold rescan baseline,
 // and index construction, and the value-index family: warm value
 // fragment semijoin, the per-node re-evaluation baseline, value-index
-// construction, and top-1 contains() latency), takes the fastest
+// construction, and top-1 contains() latency, and the ordering family:
+// warm greedy-reordered evaluation, the source-order baseline, and the
+// adaptive re-planning cursor drain), takes the fastest
 // ns/op of -gate-runs runs
 // per benchmark, normalises for the speed difference between the
 // baseline host and this host (the family-median ratio), and exits
@@ -222,6 +224,7 @@ func main() {
 		"frag":     func() bench.Table { return bench.Fragmentation(c, sizes) },
 		"index":    func() bench.Table { return bench.IndexPushdown(c, sizes) },
 		"value":    func() bench.Table { return bench.ValuePushdown(c, sizes) },
+		"order":    func() bench.Table { return bench.Ordering(c, sizes) },
 		"parallel": func() bench.Table { return bench.Parallel(c, *parSize, workers) },
 		"copyscan": func() bench.Table { return bench.CopyVsScan(c, sizes) },
 		"mpmgjn":   func() bench.Table { return bench.MPMGJN(c, sizes) },
@@ -231,7 +234,7 @@ func main() {
 		"share":    func() bench.Table { return bench.Share(c, *parSize, clients) },
 	}
 	order := []string{"table1", "fig3", "fig11a", "fig11b", "fig11c", "fig11d",
-		"fig11e", "fig11f", "window", "frag", "index", "value", "parallel", "copyscan", "mpmgjn", "storage", "server", "stream", "share"}
+		"fig11e", "fig11f", "window", "frag", "index", "value", "order", "parallel", "copyscan", "mpmgjn", "storage", "server", "stream", "share"}
 
 	emitJSON := func(tables []bench.Table) {
 		enc := json.NewEncoder(w)

@@ -101,6 +101,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "default staircase-join parallelism per query (0/1 serial, -1 all cores)")
 	useIndex := flag.Bool("index", true, "keep the shared tag/kind index resident per document (false: per-query column rescans; results identical)")
 	useVIndex := flag.Bool("value-index", true, "keep the value index resident per document (false: value predicates re-evaluate per node; results identical)")
+	noReorder := flag.Bool("no-reorder", false, "disable greedy filter ordering and adaptive re-planning (source-order predicate evaluation; results identical)")
 	shareScans := flag.Bool("share-scans", true, "coalesce identical in-flight executions: concurrent cache misses on one (doc, plan, limit) key share a single pace-car execution")
 	morsels := flag.Int("morsel-workers", 0, "default morsel parallelism inside each streaming cursor (0/1 serial, -1 all cores; output identical to serial)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request evaluation deadline; requests may lower it with timeoutMs, expiry answers 408 (0 = none)")
@@ -152,6 +153,7 @@ func main() {
 		DefaultParallelism: *parallel,
 		NoIndex:            !*useIndex,
 		NoValueIndex:       !*useVIndex,
+		NoReorder:          *noReorder,
 		ShareScans:         *shareScans,
 		MorselWorkers:      *morsels,
 		RequestTimeout:     *reqTimeout,

@@ -54,6 +54,7 @@ func main() {
 	morsels := flag.Int("morsel-workers", 0, "morsel workers inside each streaming cursor: 0/1 = serial, N > 1 = up to N workers, -1 = GOMAXPROCS (output identical to serial)")
 	useIndex := flag.Bool("index", true, "use the shared tag/kind index for name-test pushdown (false: per-step column rescan; results identical)")
 	useVIndex := flag.Bool("value-index", true, "use the value index for comparison and contains() predicates (false: per-node re-evaluation; results identical)")
+	noReorder := flag.Bool("no-reorder", false, "disable greedy filter ordering and adaptive re-planning (source-order predicate evaluation; results identical)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -92,6 +93,7 @@ func main() {
 		MorselWorkers: *morsels,
 		NoIndex:       !*useIndex,
 		NoValueIndex:  !*useVIndex,
+		NoReorder:     *noReorder,
 	}
 	if *explain {
 		var out []byte

@@ -220,7 +220,7 @@ func TestIntegrationExplainMatchesExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCard := fmt.Sprintf("-> %d result", len(res.Nodes))
+	wantCard := fmt.Sprintf("actual=%d result", len(res.Nodes))
 	if !bytes.Contains([]byte(out), []byte(wantCard)) {
 		t.Fatalf("explain cardinality does not match execution:\n%s", out)
 	}

@@ -125,6 +125,13 @@ type Options struct {
 	// are identical; the knob exists for ablation and the value-rescan
 	// benchmarks.
 	NoValueIndex bool
+	// NoReorder disables the planner's statistics-driven greedy
+	// ordering of commutable filter chains, the empty-fragment
+	// short-circuit and mid-flight adaptive re-planning: predicates
+	// evaluate strictly in source order, semijoins always sweep their
+	// fragment. Results are identical; the knob exists for ablation and
+	// the ordering benchmarks.
+	NoReorder bool
 	// LegacyEval bypasses the plan compiler and evaluates with the
 	// pre-plan recursive step interpreter. Results are identical — the
 	// property suite asserts plan ≡ legacy across random queries — and
@@ -142,6 +149,7 @@ func planOptions(o *Options) *plan.Options {
 		MorselWorkers: o.MorselWorkers,
 		NoIndex:       o.NoIndex,
 		NoValueIndex:  o.NoValueIndex,
+		NoReorder:     o.NoReorder,
 	}
 }
 

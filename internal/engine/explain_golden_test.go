@@ -27,6 +27,12 @@ var goldenQueries = []struct {
 	{"q2_rewritten", "/descendant::bidder[descendant::increase]"},
 	{"value_range", "//open_auction[current > 10]"},
 	{"value_contains", "//person[contains(name, 'aro')]/name"},
+	// The greedy ordering pass hoists the exact-count value semijoin
+	// above the source-first unknown-cost predicate filter.
+	{"reordered", "//person[profile][name = 'Carol']"},
+	// A fragment statistic proves the branch empty at compile time: the
+	// plan short-circuits under an EmptyResult operator.
+	{"empty_intermediate", "//annotation/ancestor::person"},
 }
 
 func TestExplainGolden(t *testing.T) {

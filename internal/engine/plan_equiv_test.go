@@ -220,6 +220,9 @@ func TestPlanEquivalentToLegacyEval(t *testing.T) {
 			{MorselWorkers: 3},
 			{MorselWorkers: AutoParallelism, Pushdown: PushAlways},
 			{MorselWorkers: 2, NoIndex: true, Strategy: StaircaseSkip},
+			{NoReorder: true},
+			{NoReorder: true, NoIndex: true},
+			{NoReorder: true, MorselWorkers: 3},
 		}
 		var wg sync.WaitGroup
 		for _, q := range queries {
@@ -244,6 +247,112 @@ func TestPlanEquivalentToLegacyEval(t *testing.T) {
 						return
 					}
 					checkStreaming(t, e, q, &k, legacy.Nodes)
+				}
+			}(q)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.Fatalf("trial %d failed", trial)
+		}
+	}
+}
+
+// randFilterStep builds one step stacking 2-4 commutable predicates —
+// the shape the greedy ordering pass reorders: existential steps
+// (semijoin candidates), value comparisons (value-semijoin candidates)
+// and per-node programs, in random source order.
+func randFilterStep(rng *rand.Rand) string {
+	s := randStep(rng)
+	for p, n := 0, 2+rng.Intn(3); p < n; p++ {
+		switch rng.Intn(3) {
+		case 0:
+			s += fmt.Sprintf("[%s::%s]", randAxes[rng.Intn(len(randAxes))], randTest(rng))
+		case 1:
+			s += "[" + randStep(rng) + " = 't']"
+		default:
+			s += "[" + randPred(rng, 1) + "]"
+		}
+	}
+	return s
+}
+
+// randFilterQuery: 1-3 steps, the last stacking a reorderable
+// predicate chain.
+func randFilterQuery(rng *rand.Rand) string {
+	var out string
+	if rng.Intn(2) == 0 {
+		out = "/"
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		out += randStep(rng) + "/"
+	}
+	return out + randFilterStep(rng)
+}
+
+// TestReorderEquivalence is the ordering pass's differential property:
+// for randomly generated multi-predicate queries, greedy-ordered
+// evaluation, source-order evaluation (NoReorder) and the legacy step
+// interpreter return byte-identical node sequences; the streaming
+// chain cursor (with mid-flight re-planning armed) matches too; and
+// ordering never changes the canonical plan string (the result-cache
+// key).
+func TestReorderEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	trials := quickTrials(4)
+	const queriesPerDoc = 40
+	for trial := 0; trial < trials; trial++ {
+		d := randomDoc(rng, 250)
+		e := New(d)
+		var queries []string
+		for len(queries) < queriesPerDoc {
+			q := randFilterQuery(rng)
+			if _, err := xpath.ParseQuery(q); err != nil {
+				continue
+			}
+			queries = append(queries, q)
+		}
+		var wg sync.WaitGroup
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q string) {
+				defer wg.Done()
+				legacy, err := e.EvalString(q, &Options{LegacyEval: true})
+				if err != nil {
+					t.Errorf("legacy %s: %v", q, err)
+					return
+				}
+				ordered, err := e.EvalString(q, &Options{})
+				if err != nil {
+					t.Errorf("ordered %s: %v", q, err)
+					return
+				}
+				if !eq32(ordered.Nodes, legacy.Nodes) {
+					t.Errorf("ordered != legacy for %s:\n got %v\nwant %v", q, ordered.Nodes, legacy.Nodes)
+					return
+				}
+				plain, err := e.EvalString(q, &Options{NoReorder: true})
+				if err != nil {
+					t.Errorf("no-reorder %s: %v", q, err)
+					return
+				}
+				if !eq32(plain.Nodes, legacy.Nodes) {
+					t.Errorf("no-reorder != legacy for %s:\n got %v\nwant %v", q, plain.Nodes, legacy.Nodes)
+					return
+				}
+				checkStreaming(t, e, q, &Options{}, legacy.Nodes)
+				po, err := e.PrepareString(q, &Options{})
+				if err != nil {
+					t.Errorf("prepare %s: %v", q, err)
+					return
+				}
+				pp, err := e.PrepareString(q, &Options{NoReorder: true})
+				if err != nil {
+					t.Errorf("prepare no-reorder %s: %v", q, err)
+					return
+				}
+				if po.Canon() != pp.Canon() {
+					t.Errorf("canon changed by ordering for %s:\n ordered %s\n   plain %s",
+						q, po.Canon(), pp.Canon())
 				}
 			}(q)
 		}

@@ -13,6 +13,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -46,18 +47,13 @@ func canonOp(sb *strings.Builder, o op) {
 			sb.WriteString(",docnode")
 		}
 		sb.WriteString(")")
-	case *predFilterOp:
-		canonOp(sb, t.in)
-		fmt.Fprintf(sb, "/filter[%s]", t.pred)
-	case *semiJoinOp:
-		canonOp(sb, t.in)
-		fmt.Fprintf(sb, "/semijoin(%s::%s,variant=%s)", t.existsAxis, t.frag.test, t.variant)
-	case *valueSemiJoinOp:
-		// Deliberately source-free: the same canonical string covers an
-		// index-served execution and the per-node fallback
-		// (Options.NoValueIndex, value-less documents).
-		canonOp(sb, t.in)
-		fmt.Fprintf(sb, "/valuesemijoin[%s]", t.pred)
+	case *predFilterOp, *semiJoinOp, *valueSemiJoinOp:
+		canonChain(sb, o)
+	case *emptyOp:
+		// Transparent: emptiness is a property of the document binding
+		// (an absent tag), not of the result the plan identifies, and
+		// must not split cache keys across equivalent spellings.
+		canonOp(sb, t.inner)
 	case *posFilterOp:
 		canonOp(sb, t.in)
 		fmt.Fprintf(sb, "/pos(%s", t.step)
@@ -77,4 +73,49 @@ func canonOp(sb *strings.Builder, o op) {
 	case *fragScan:
 		fmt.Fprintf(sb, "frag(%s)", t.test)
 	}
+}
+
+// canonChain renders a commutable filter chain in *source* order,
+// regardless of the evaluation order the greedy ordering pass chose:
+// ordering decisions are result-invariant and must not change the
+// canonical string the result cache keys on. For unreordered plans
+// the source-order sort reproduces the bottom-up rendering exactly.
+func canonChain(sb *strings.Builder, top op) {
+	var members []op
+	cur := top
+	for chainable(cur) {
+		members = append(members, cur)
+		cur = primaryIn(cur)
+	}
+	canonOp(sb, cur)
+	sort.SliceStable(members, func(i, j int) bool {
+		return chainSrcOrd(members[i]) < chainSrcOrd(members[j])
+	})
+	for _, m := range members {
+		switch t := m.(type) {
+		case *predFilterOp:
+			fmt.Fprintf(sb, "/filter[%s]", t.pred)
+		case *semiJoinOp:
+			fmt.Fprintf(sb, "/semijoin(%s::%s,variant=%s)", t.existsAxis, t.frag.test, t.variant)
+		case *valueSemiJoinOp:
+			// Deliberately source-free: the same canonical string covers
+			// an index-served execution and the per-node fallback
+			// (Options.NoValueIndex, value-less documents).
+			fmt.Fprintf(sb, "/valuesemijoin[%s]", t.pred)
+		}
+	}
+}
+
+// chainSrcOrd returns a chain member's source position within its
+// step's predicate list.
+func chainSrcOrd(o op) int {
+	switch t := o.(type) {
+	case *predFilterOp:
+		return t.srcOrd
+	case *semiJoinOp:
+		return t.srcOrd
+	case *valueSemiJoinOp:
+		return t.srcOrd
+	}
+	return 0
 }

@@ -49,6 +49,9 @@ func Compile(env *Env, l *Logical, opts *Options) (*Plan, error) {
 	} else {
 		p.root = c.add(&mergeOp{ins: branches})
 	}
+	if o.Strategy.staircase() && !o.NoReorder {
+		c.orderPlan()
+	}
 	return p, nil
 }
 
@@ -57,6 +60,9 @@ type compiler struct {
 	p    *Plan
 	env  *Env
 	opts *Options
+	// cards memoizes fragCard lookups per node test, so repeated tests
+	// across steps (and the ordering pass) probe the index maps once.
+	cards map[string]int64
 }
 
 // add registers an operator in the plan's op table.
@@ -97,8 +103,9 @@ func (c *compiler) compileStep(in op, s *LogicalStep, rootIsElem bool, estIn int
 	cur := c.compileAxis(in, s, meta, docNode, estIn)
 	estOut := opEstimate(cur)
 
-	for _, pred := range s.Preds {
+	for pi, pred := range s.Preds {
 		if sj := c.trySemiJoin(cur, meta, s.Axis, pred, estOut); sj != nil {
+			sj.srcOrd = pi
 			cur = sj
 			estOut = maxInt64(estOut/2, 1)
 			continue
@@ -106,6 +113,7 @@ func (c *compiler) compileStep(in op, s *LogicalStep, rootIsElem bool, estIn int
 		if vj, err := c.tryValueSemiJoin(cur, meta, s.Axis, pred, estOut); err != nil {
 			return nil, 0, err
 		} else if vj != nil {
+			vj.srcOrd = pi
 			cur = vj
 			estOut = maxInt64(estOut/2, 1)
 			continue
@@ -116,7 +124,8 @@ func (c *compiler) compileStep(in op, s *LogicalStep, rootIsElem bool, estIn int
 		}
 		estOut = maxInt64(estOut/2, 1)
 		pf := &predFilterOp{in: cur, meta: meta, pred: pred, prog: prog,
-			est: estimates{In: opEstimate(cur), Out: estOut}}
+			srcOrd: pi,
+			est:    estimates{In: opEstimate(cur), Out: estOut}}
 		c.add(pf)
 		cur = pf
 	}
@@ -206,18 +215,27 @@ func (c *compiler) newFragScan(test xpath.NodeTest) *fragScan {
 }
 
 // fragCard returns the exact fragment cardinality of a pushable test
-// when the index is available, -1 otherwise.
+// when the index is available, -1 otherwise. Lookups memoize per node
+// test: a query repeating a name across steps probes the index once.
 func (c *compiler) fragCard(test xpath.NodeTest) int64 {
 	if c.opts.NoIndex || !pushable(test) {
 		return -1
 	}
+	key := test.String()
+	if card, ok := c.cards[key]; ok {
+		return card
+	}
+	card := int64(-1)
 	if list := c.indexList(test); list != nil {
-		return int64(len(list))
+		card = int64(len(list))
+	} else if c.testKnownEmpty(test) {
+		card = 0
 	}
-	if c.testKnownEmpty(test) {
-		return 0
+	if c.cards == nil {
+		c.cards = make(map[string]int64)
 	}
-	return -1
+	c.cards[key] = card
+	return card
 }
 
 // indexList fetches the index-served fragment list of a pushable test
@@ -261,7 +279,7 @@ func (c *compiler) testKnownEmpty(test xpath.NodeTest) bool {
 // an attribute-free context (any non-attribute owning axis). The
 // rewrite replaces |S| per-node path evaluations with one staircase
 // node-list join — the set-at-a-time discipline applied to predicates.
-func (c *compiler) trySemiJoin(in op, meta *stepMeta, owningAxis axis.Axis, pred xpath.Predicate, estIn int64) op {
+func (c *compiler) trySemiJoin(in op, meta *stepMeta, owningAxis axis.Axis, pred xpath.Predicate, estIn int64) *semiJoinOp {
 	if !c.opts.Strategy.staircase() || owningAxis == axis.Attribute {
 		return nil
 	}
@@ -302,7 +320,7 @@ func (c *compiler) trySemiJoin(in op, meta *stepMeta, owningAxis axis.Axis, pred
 // index availability — the operator falls back to per-node evaluation
 // at execution time — so the canonical plan string stays stable
 // across Options.NoValueIndex.
-func (c *compiler) tryValueSemiJoin(in op, meta *stepMeta, owningAxis axis.Axis, pred xpath.Predicate, estIn int64) (op, error) {
+func (c *compiler) tryValueSemiJoin(in op, meta *stepMeta, owningAxis axis.Axis, pred xpath.Predicate, estIn int64) (*valueSemiJoinOp, error) {
 	if !c.opts.Strategy.staircase() || owningAxis == axis.Attribute || c.opts.Pushdown == PushNever {
 		return nil, nil
 	}

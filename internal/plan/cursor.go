@@ -208,7 +208,9 @@ func (o *sourceOp) open(ec *execCtx) (cursor, error) {
 
 func (o *fragScan) open(ec *execCtx) (cursor, error) {
 	list, _, _ := o.resolve(ec)
-	return &sliceCursor{nodes: list}, nil
+	// Batches are released to consumers, which may filter them in
+	// place; the memoised fragment is shared.
+	return &sliceCursor{nodes: append([]int32(nil), list...)}, nil
 }
 
 // --- StaircaseJoin ---------------------------------------------------------
@@ -469,130 +471,163 @@ func (o *semiJoinOp) open(ec *execCtx) (cursor, error) {
 	if !ec.opts.Strategy.staircase() {
 		return newRunCursor(ec, o), nil
 	}
+	if o.chain != nil {
+		return openChain(ec, o.chain)
+	}
 	in, err := o.in.open(ec)
 	if err != nil {
 		return nil, err
 	}
-	d := ec.env.Doc
 	st := &ec.steps[o.meta.ord-1]
 	ost := &ec.ops[o.id]
 	ost.ran = true
 	list, indexed, _ := o.frag.resolve(ec)
 	ost.indexed = indexed
 	ost.fragSize = len(list)
-	c := &semiJoinCursor{
+	ost.probeDir = probeInputSeek // streaming is point-probe by nature
+	return &semiJoinCursor{
 		ec: ec, o: o, st: st, ost: ost, in: in,
-		d: d, post: d.PostSlice(), kind: d.KindSlice(), list: list,
+		pr: newSemiProbe(ec.env.Doc, o.existsAxis, list),
+	}, nil
+}
+
+// semiProbe is the point-probe form of the exists-semijoin: it decides
+// per input node whether the node stands in the exists axis relation
+// to a fragment, by binary search (descendant/ancestor) or against the
+// fragment's reduction node (following/preceding) — the node-list
+// join's partition arithmetic turned into point probes, plus seek
+// hints derived from the fragment span. Shared by the streaming
+// cursor, the materializing executor's input-probe direction, and the
+// adaptive chain stages. Not safe for concurrent use (minSeek advances
+// while probing): build one per execution.
+type semiProbe struct {
+	existsAxis axis.Axis
+	d          *doc.Document
+	post       []int32
+	kind       []doc.Kind
+	list       []int32
+
+	prefixMax      []int32 // existsAxis == Ancestor
+	minSeek        int32   // first input pre that can possibly qualify
+	spanLo, spanHi int32
+}
+
+// newSemiProbe builds the probe state for one execution over a
+// resolved (shared, read-only) fragment list.
+func newSemiProbe(d *doc.Document, existsAxis axis.Axis, list []int32) *semiProbe {
+	p := &semiProbe{
+		existsAxis: existsAxis, d: d,
+		post: d.PostSlice(), kind: d.KindSlice(), list: list,
 	}
 	if len(list) > 0 {
-		c.spanLo, c.spanHi = list[0], list[len(list)-1]
-		switch o.existsAxis {
+		p.spanLo, p.spanHi = list[0], list[len(list)-1]
+		switch existsAxis {
 		case axis.Ancestor:
 			// prefixMax[i] = max subtree end over list[:i+1]: an input
 			// node b has a fragment ancestor iff some fragment node
 			// before it reaches at least b.
-			c.prefixMax = make([]int32, len(list))
+			p.prefixMax = make([]int32, len(list))
 			m := int32(-1)
 			for i, f := range list {
 				if end := f + d.SubtreeSize(f); end > m {
 					m = end
 				}
-				c.prefixMax[i] = m
+				p.prefixMax[i] = m
 			}
-			c.minSeek = c.spanLo + 1
+			p.minSeek = p.spanLo + 1
 		case axis.Preceding:
 			// Following-join reduction: only the minimum-post fragment
 			// node matters; everything after its subtree qualifies.
 			best := list[0]
 			for _, f := range list[1:] {
-				if c.post[f] < c.post[best] {
+				if p.post[f] < p.post[best] {
 					best = f
 				}
 			}
-			c.minSeek = best + 1 + d.SubtreeSize(best)
+			p.minSeek = best + 1 + d.SubtreeSize(best)
 		}
 	}
-	return c, nil
+	return p
+}
+
+// qualifies decides the exists predicate for one input node and may
+// raise p.minSeek (the next input pre that could qualify).
+func (p *semiProbe) qualifies(v int32) bool {
+	switch p.existsAxis {
+	case axis.Descendant:
+		if v >= p.spanHi {
+			return false
+		}
+		i := searchNodes(p.list, v+1)
+		return i < len(p.list) && p.list[i] <= v+p.d.SubtreeSize(v)
+	case axis.Ancestor:
+		i := searchNodes(p.list, v)
+		if i > 0 && p.prefixMax[i-1] >= v {
+			return true
+		}
+		// No fragment subtree reaches v; the next possible hit starts
+		// after the next fragment node.
+		if i < len(p.list) {
+			if s := p.list[i] + 1; s > p.minSeek {
+				p.minSeek = s
+			}
+		} else {
+			p.minSeek = math.MaxInt32
+		}
+		return false
+	case axis.Following:
+		// Preceding-join reduction: compare against the maximum-pre
+		// fragment node.
+		f := p.spanHi
+		return v < f && p.post[v] < p.post[f]
+	default: // axis.Preceding
+		return v >= p.minSeek
+	}
+}
+
+// admit is the full per-node test: attribute nodes never qualify (the
+// node-list join's output filter), below-minSeek nodes cannot stand in
+// the relation, and the rest go through qualifies.
+func (p *semiProbe) admit(v int32) bool {
+	if v < p.minSeek || p.kind[v] == doc.Attr {
+		return false
+	}
+	return p.qualifies(v)
+}
+
+// exhaustedAfter reports that no input node >= v can qualify, so the
+// consumer may stop probing input entirely.
+func (p *semiProbe) exhaustedAfter(v int32) bool {
+	switch p.existsAxis {
+	case axis.Descendant:
+		return v >= p.spanHi
+	case axis.Following:
+		return v >= p.spanHi
+	case axis.Ancestor:
+		return p.minSeek == math.MaxInt32
+	default:
+		return false
+	}
 }
 
 // semiJoinCursor streams the exists-semijoin: input nodes pass through
 // iff they stand in the exists axis relation to the fragment, decided
-// per node by binary search (descendant/ancestor) or against the
-// fragment's reduction node (following/preceding) — the node-list
-// join's partition arithmetic turned into point probes, plus seek
-// hints derived from the fragment span.
+// by the point probe.
 type semiJoinCursor struct {
 	ec   *execCtx
 	o    *semiJoinOp
 	st   *StepStats
 	ost  *opStat
 	in   cursor
-	d    *doc.Document
-	post []int32
-	kind []doc.Kind
-	list []int32
-
-	prefixMax      []int32 // existsAxis == Ancestor
-	minSeek        int32   // first input pre that can possibly qualify
-	spanLo, spanHi int32
-	done           bool
-}
-
-// qualifies decides the exists predicate for one input node and may
-// raise c.minSeek (the next input pre that could qualify).
-func (c *semiJoinCursor) qualifies(v int32) bool {
-	switch c.o.existsAxis {
-	case axis.Descendant:
-		if v >= c.spanHi {
-			return false
-		}
-		i := searchNodes(c.list, v+1)
-		return i < len(c.list) && c.list[i] <= v+c.d.SubtreeSize(v)
-	case axis.Ancestor:
-		i := searchNodes(c.list, v)
-		if i > 0 && c.prefixMax[i-1] >= v {
-			return true
-		}
-		// No fragment subtree reaches v; the next possible hit starts
-		// after the next fragment node.
-		if i < len(c.list) {
-			if s := c.list[i] + 1; s > c.minSeek {
-				c.minSeek = s
-			}
-		} else {
-			c.minSeek = math.MaxInt32
-		}
-		return false
-	case axis.Following:
-		// Preceding-join reduction: compare against the maximum-pre
-		// fragment node.
-		f := c.spanHi
-		return v < f && c.post[v] < c.post[f]
-	default: // axis.Preceding
-		return v >= c.minSeek
-	}
-}
-
-// exhaustedAfter reports that no input node >= v can qualify, so the
-// cursor may stop pulling input entirely.
-func (c *semiJoinCursor) exhaustedAfter(v int32) bool {
-	switch c.o.existsAxis {
-	case axis.Descendant:
-		return v >= c.spanHi
-	case axis.Following:
-		return v >= c.spanHi
-	case axis.Ancestor:
-		return c.minSeek == math.MaxInt32
-	default:
-		return false
-	}
+	pr   *semiProbe
+	done bool
 }
 
 func (c *semiJoinCursor) next(seek int32) ([]int32, error) {
 	if c.done {
 		return nil, nil
 	}
-	if len(c.list) == 0 {
+	if len(c.pr.list) == 0 {
 		c.done = true
 		return nil, nil
 	}
@@ -603,8 +638,8 @@ func (c *semiJoinCursor) next(seek int32) ([]int32, error) {
 	defer func() { c.st.Duration += time.Since(start) }()
 	for {
 		s := seek
-		if c.minSeek > s {
-			s = c.minSeek
+		if c.pr.minSeek > s {
+			s = c.pr.minSeek
 		}
 		b, err := c.in.next(s)
 		if err != nil {
@@ -618,18 +653,13 @@ func (c *semiJoinCursor) next(seek int32) ([]int32, error) {
 		// released to us until our next pull.
 		out := b[:0]
 		for _, v := range b {
-			// Attribute nodes never qualify (the node-list join's output
-			// filter); below-minSeek nodes cannot stand in the relation.
-			if v < c.minSeek || c.kind[v] == doc.Attr {
-				continue
-			}
-			if c.qualifies(v) {
+			if c.pr.admit(v) {
 				out = append(out, v)
 			}
 		}
 		c.ost.in += len(b)
 		c.st.InputSize = c.ost.in
-		if c.exhaustedAfter(b[len(b)-1]) {
+		if c.pr.exhaustedAfter(b[len(b)-1]) {
 			c.done = true
 		}
 		if len(out) > 0 {
@@ -681,6 +711,9 @@ func (o *axisStepOp) open(ec *execCtx) (cursor, error) {
 // --- PredFilter ------------------------------------------------------------
 
 func (o *predFilterOp) open(ec *execCtx) (cursor, error) {
+	if o.chain != nil {
+		return openChain(ec, o.chain)
+	}
 	in, err := o.in.open(ec)
 	if err != nil {
 		return nil, err
@@ -1175,7 +1208,7 @@ func (p *Plan) RunLimit(ctx context.Context, initial []int32, limit int) (*Resul
 	if !truncated && !cur.Exhausted() {
 		truncated = true // stopped exactly at the limit: more may exist
 	}
-	return &Result{Nodes: nodes, Steps: cur.ec.steps, Truncated: truncated, ops: cur.ec.ops}, nil
+	return &Result{Nodes: nodes, Steps: cur.ec.steps, Truncated: truncated, ops: cur.ec.ops, replans: cur.ec.replans}, nil
 }
 
 // RunLimitRoot is RunLimit from the document root.

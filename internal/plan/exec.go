@@ -12,6 +12,7 @@ import (
 	"staircase/internal/axis"
 	"staircase/internal/baseline"
 	"staircase/internal/core"
+	"staircase/internal/xpath"
 )
 
 // StepStats records per-location-step evaluation statistics,
@@ -60,6 +61,25 @@ type opStat struct {
 	// worker-pool size that drained them (0 for serial cursors).
 	morsels       int
 	morselWorkers int
+	// probeDir records the semijoin probe direction actually taken:
+	// probeFragSweep partitions the fragment (one staircase sweep over
+	// input+fragment), probeInputSeek probes each input node into the
+	// fragment by binary search (chosen when the input is much smaller).
+	probeDir int8
+}
+
+// Semijoin probe directions (opStat.probeDir).
+const (
+	probeUnset     int8 = iota
+	probeFragSweep      // sweep: fragment partitions the input
+	probeInputSeek      // seek: each input node binary-probes the fragment
+)
+
+// probeFromInput decides the semijoin probe direction from the actual
+// cardinalities: per-input binary probes (O(n log f)) beat the linear
+// fragment sweep (O(n + f)) when the fragment dwarfs the input.
+func probeFromInput(in, frag int) bool {
+	return in > 0 && frag/in >= 16
 }
 
 func (s *opStat) record(in, out int) {
@@ -84,6 +104,22 @@ type execCtx struct {
 	// partitioning axis, so the shared helpers can record the cost
 	// bounds and decisions they compute.
 	cur *opStat
+	// curFrag is the memoized fragment scan of the join currently
+	// evaluating, so the shared partitioning helper reuses its resolved
+	// list instead of re-probing the index maps.
+	curFrag *fragScan
+	// replans collects mid-flight adaptive re-planning notes (cursor
+	// executor), surfaced through Result for EXPLAIN's reorder footer.
+	replans []string
+}
+
+// fragList resolves the fragment list for a node test, serving it from
+// the current join's memoized fragment scan when the tests match.
+func (ec *execCtx) fragList(test xpath.NodeTest) (list []int32, indexed, ok bool) {
+	if f := ec.curFrag; f != nil && f.test == test {
+		return f.resolveWith(ec.env.Doc, ec.opts)
+	}
+	return pushdownList(ec.env.Doc, test, ec.opts)
 }
 
 // cancelled reports the execution context's error, if any.
@@ -106,7 +142,8 @@ type Result struct {
 	// while further results may exist (the cursor was not drained).
 	Truncated bool
 
-	ops []opStat // per-operator actuals, consumed by EXPLAIN
+	ops     []opStat // per-operator actuals, consumed by EXPLAIN
+	replans []string // adaptive re-plan notes, consumed by EXPLAIN
 }
 
 // Plan is a compiled physical plan, bound to one document (via its
@@ -121,8 +158,22 @@ type Plan struct {
 	metas    []*stepMeta // one per location step, in step order
 	rewrites []string    // logical + physical rewrites applied
 
+	// orderNotes lists the greedy ordering pass's fired decisions;
+	// opOrder maps op ids to per-operator ordering annotations. Both
+	// feed EXPLAIN only — ordering is excluded from Canon.
+	orderNotes []string
+	opOrder    map[int]string
+
 	canonOnce sync.Once
 	canon     string // built on first use (lazily: EvalString paths never need it)
+
+	// display caches per-operator detail renderings (predicate and step
+	// strings) so repeated Explain calls stop re-rendering shared
+	// logical subtrees; queryStr caches the canonical query text.
+	displayOnce sync.Once
+	display     []string
+	queryOnce   sync.Once
+	queryStr    string
 }
 
 // Options returns the configuration the plan was compiled with.
@@ -133,7 +184,10 @@ func (p *Plan) Options() Options { return p.opts }
 func (p *Plan) Rewrites() []string { return p.rewrites }
 
 // Query returns the source query text in canonical form.
-func (p *Plan) Query() string { return p.logical.Query.String() }
+func (p *Plan) Query() string {
+	p.queryOnce.Do(func() { p.queryStr = p.logical.Query.String() })
+	return p.queryStr
+}
 
 // Logical returns the (rewritten) logical plan the physical plan was
 // compiled from.
@@ -172,7 +226,7 @@ func (p *Plan) RunCtx(ctx context.Context, initial []int32) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Nodes: nodes, Steps: ec.steps, ops: ec.ops}, nil
+	return &Result{Nodes: nodes, Steps: ec.steps, ops: ec.ops, replans: ec.replans}, nil
 }
 
 // newExecCtx builds the per-execution state shared by the

@@ -17,32 +17,42 @@ import (
 
 // ExplainTree is the JSON form of an explained plan.
 type ExplainTree struct {
-	Query         string       `json:"query"`
-	Canon         string       `json:"canon"`
-	Strategy      string       `json:"strategy"`
-	Pushdown      string       `json:"pushdown"`
-	Parallelism   int          `json:"parallelism,omitempty"`
-	MorselWorkers int          `json:"morselWorkers,omitempty"`
-	NoIndex       bool         `json:"noIndex,omitempty"`
-	NoValueIndex  bool         `json:"noValueIndex,omitempty"`
-	Rewrites      []string     `json:"rewrites,omitempty"`
-	Executed      bool         `json:"executed"`
-	ResultCount   int          `json:"resultCount"`
-	Root          *ExplainNode `json:"root"`
+	Query         string   `json:"query"`
+	Canon         string   `json:"canon"`
+	Strategy      string   `json:"strategy"`
+	Pushdown      string   `json:"pushdown"`
+	Parallelism   int      `json:"parallelism,omitempty"`
+	MorselWorkers int      `json:"morselWorkers,omitempty"`
+	NoIndex       bool     `json:"noIndex,omitempty"`
+	NoValueIndex  bool     `json:"noValueIndex,omitempty"`
+	NoReorder     bool     `json:"noReorder,omitempty"`
+	Rewrites      []string `json:"rewrites,omitempty"`
+	// Reorder lists the greedy ordering pass's fired decisions; Replans
+	// the mid-flight adaptive re-plans of the supplied execution.
+	Reorder     []string     `json:"reorder,omitempty"`
+	Replans     []string     `json:"replans,omitempty"`
+	Executed    bool         `json:"executed"`
+	ResultCount int          `json:"resultCount"`
+	Root        *ExplainNode `json:"root"`
 }
 
 // ExplainNode is one operator of the JSON plan tree.
 type ExplainNode struct {
-	Op       string `json:"op"`
-	Step     int    `json:"step,omitempty"`
-	Detail   string `json:"detail,omitempty"`
-	Variant  string `json:"variant,omitempty"`
-	DocNode  bool   `json:"docNode,omitempty"`
-	EstIn    int64  `json:"estIn,omitempty"`
-	EstOut   int64  `json:"estOut,omitempty"`
-	Ran      bool   `json:"ran,omitempty"`
-	In       int    `json:"in,omitempty"`
-	Out      int    `json:"out,omitempty"`
+	Op      string `json:"op"`
+	Step    int    `json:"step,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	Variant string `json:"variant,omitempty"`
+	DocNode bool   `json:"docNode,omitempty"`
+	EstIn   int64  `json:"estIn,omitempty"`
+	EstOut  int64  `json:"estOut,omitempty"`
+	Ran     bool   `json:"ran,omitempty"`
+	In      int    `json:"in,omitempty"`
+	Out     int    `json:"out,omitempty"`
+	// Order is the greedy ordering pass's annotation for this operator
+	// (hoisted position); ProbeDir the semijoin probe direction the
+	// execution actually took.
+	Order    string `json:"order,omitempty"`
+	ProbeDir string `json:"probeDir,omitempty"`
 	Skipped  int64  `json:"skipped,omitempty"`
 	Pushed   bool   `json:"pushed,omitempty"`
 	Indexed  bool   `json:"indexed,omitempty"`
@@ -80,14 +90,59 @@ func (p *Plan) explainTree(res *Result) *ExplainTree {
 		MorselWorkers: p.opts.MorselWorkers,
 		NoIndex:       p.opts.NoIndex,
 		NoValueIndex:  p.opts.NoValueIndex,
+		NoReorder:     p.opts.NoReorder,
 		Rewrites:      p.rewrites,
+		Reorder:       p.orderNotes,
 		Root:          p.explainNode(p.root, res),
 	}
 	if res != nil {
 		t.Executed = true
 		t.ResultCount = len(res.Nodes)
+		t.Replans = res.replans
 	}
 	return t
+}
+
+// opDetail returns the cached detail rendering of an operator — the
+// predicate, step or test string EXPLAIN repeats for it. Prepared
+// plans are explained many times; the strings are rendered once,
+// lazily, alongside the canon cache.
+func (p *Plan) opDetail(o op) string {
+	p.displayOnce.Do(func() {
+		p.display = make([]string, len(p.ops))
+		for i, q := range p.ops {
+			switch t := q.(type) {
+			case *joinOp:
+				p.display[i] = fmt.Sprintf("%s::%s", t.stepAxis(), t.test)
+			case *axisStepOp:
+				p.display[i] = fmt.Sprintf("%s::%s", t.a, t.test)
+			case *predFilterOp:
+				p.display[i] = fmt.Sprintf("%s", t.pred)
+			case *semiJoinOp:
+				p.display[i] = fmt.Sprintf("%s", t.pred)
+			case *valueSemiJoinOp:
+				p.display[i] = fmt.Sprintf("%s", t.pred)
+			case *posFilterOp:
+				p.display[i] = t.step.String()
+			case *valueScan:
+				p.display[i] = t.predString()
+			case *fragScan:
+				p.display[i] = t.test.String()
+			}
+		}
+	})
+	return p.display[o.opID()]
+}
+
+// probeDirName names the semijoin probe direction an execution took.
+func probeDirName(d int8) string {
+	switch d {
+	case probeFragSweep:
+		return "fragment-sweep (fragment partitions the input)"
+	case probeInputSeek:
+		return "input-seek (input nodes binary-probe the fragment)"
+	}
+	return ""
 }
 
 func (p *Plan) explainNode(o op, res *Result) *ExplainNode {
@@ -105,7 +160,7 @@ func (p *Plan) explainNode(o op, res *Result) *ExplainNode {
 		}
 	case *joinOp:
 		n.Step = t.meta.ord
-		n.Detail = fmt.Sprintf("%s::%s", t.stepAxis(), t.test)
+		n.Detail = p.opDetail(t)
 		if p.opts.Strategy.staircase() {
 			n.Variant = t.variant.String()
 		}
@@ -122,32 +177,34 @@ func (p *Plan) explainNode(o op, res *Result) *ExplainNode {
 		}
 	case *axisStepOp:
 		n.Step = t.meta.ord
-		n.Detail = fmt.Sprintf("%s::%s", t.a, t.test)
+		n.Detail = p.opDetail(t)
 		n.DocNode = t.docNode
 		n.EstIn, n.EstOut = t.est.In, t.est.Out
 	case *predFilterOp:
 		n.Step = t.meta.ord
-		n.Detail = fmt.Sprintf("[%s]", t.pred)
+		n.Detail = fmt.Sprintf("[%s]", p.opDetail(t))
 		n.EstIn, n.EstOut = t.est.In, t.est.Out
 	case *semiJoinOp:
 		n.Step = t.meta.ord
-		n.Detail = fmt.Sprintf("[%s] on inverse axis %s", t.pred, t.inv)
+		n.Detail = fmt.Sprintf("[%s] on inverse axis %s", p.opDetail(t), t.inv)
 		n.Variant = t.variant.String()
 		n.EstIn, n.EstOut = t.est.In, t.est.Out
 	case *valueSemiJoinOp:
 		n.Step = t.meta.ord
-		n.Detail = fmt.Sprintf("[%s] probed on axis %s", t.pred, t.pa)
+		n.Detail = fmt.Sprintf("[%s] probed on axis %s", p.opDetail(t), t.pa)
 		n.EstIn, n.EstOut = t.est.In, t.est.Out
 	case *valueScan:
-		n.Detail = t.predString()
+		n.Detail = p.opDetail(t)
 		n.Source = p.valueSource(t)
 	case *posFilterOp:
 		n.Step = t.meta.ord
-		n.Detail = t.step.String()
+		n.Detail = p.opDetail(t)
 		n.DocNode = t.docNode
 		n.EstIn, n.EstOut = t.est.In, t.est.Out
+	case *emptyOp:
+		n.Detail = fmt.Sprintf("provably empty: %s; downstream operators skipped", t.reason)
 	case *fragScan:
-		n.Detail = t.test.String()
+		n.Detail = p.opDetail(t)
 		n.Count = t.card
 		if p.opts.NoIndex {
 			n.Source = "name-column scan"
@@ -158,9 +215,13 @@ func (p *Plan) explainNode(o op, res *Result) *ExplainNode {
 			n.Span = fmt.Sprintf("[%d..%d]", t.spanLo, t.spanHi)
 		}
 	}
+	if note, ok := p.opOrder[o.opID()]; ok {
+		n.Order = note
+	}
 	if ost != nil && ost.ran {
 		n.Ran = true
 		n.In, n.Out = ost.in, ost.out
+		n.ProbeDir = probeDirName(ost.probeDir)
 		n.Skipped = ost.skipped
 		n.Pushed, n.Indexed = ost.pushed, ost.indexed
 		if ost.fragSize > 0 {
@@ -202,6 +263,8 @@ func opName(o op, opts *Options) string {
 		return "ValueScan"
 	case *posFilterOp:
 		return "PosFilter"
+	case *emptyOp:
+		return "EmptyResult"
 	case *mergeOp:
 		return "Merge"
 	case *fragScan:
@@ -234,6 +297,9 @@ func (p *Plan) ExplainText(res *Result) string {
 	if p.opts.NoValueIndex {
 		sb.WriteString(" no-value-index")
 	}
+	if p.opts.NoReorder {
+		sb.WriteString(" no-reorder")
+	}
 	sb.WriteString("\n")
 	if len(p.rewrites) > 0 {
 		fmt.Fprintf(&sb, "rewrites: %s\n", strings.Join(p.rewrites, ", "))
@@ -244,10 +310,25 @@ func (p *Plan) ExplainText(res *Result) string {
 			fmt.Fprintf(&sb, "union branch %d: %s\n", i+1, p.logical.Query.Paths[i])
 			p.renderOp(&sb, in, res, 1)
 		}
-		return sb.String()
+	} else {
+		p.renderOp(&sb, p.root, res, 0)
 	}
-	p.renderOp(&sb, p.root, res, 0)
+	p.renderReorderFooter(&sb, res)
 	return sb.String()
+}
+
+// renderReorderFooter prints the greedy ordering pass's fired
+// decisions and — for an executed plan — the adaptive re-plans of
+// that run.
+func (p *Plan) renderReorderFooter(sb *strings.Builder, res *Result) {
+	for _, note := range p.orderNotes {
+		fmt.Fprintf(sb, "reorder: %s\n", note)
+	}
+	if res != nil {
+		for _, note := range res.replans {
+			fmt.Fprintf(sb, "reorder: %s\n", note)
+		}
+	}
 }
 
 // renderOp prints one operator and recurses into its inputs.
@@ -264,9 +345,17 @@ func (p *Plan) renderOp(sb *strings.Builder, o op, res *Result, depth int) {
 	}
 	card := func(est estimates) {
 		if ost != nil && ost.ran {
-			line("  cardinality: %d context -> %d result (est %d, skipped=%d)", ost.in, ost.out, est.Out, ost.skipped)
+			line("  cardinality: %d context -> est=%d actual=%d result (skipped=%d)", ost.in, est.Out, ost.out, ost.skipped)
 		} else {
-			line("  cardinality: est %d context -> est %d result", est.In, est.Out)
+			line("  cardinality: est=%d context -> est=%d result", est.In, est.Out)
+		}
+	}
+	order := func() {
+		if note, ok := p.opOrder[o.opID()]; ok {
+			line("  order: %s", note)
+		}
+		if ost != nil && ost.ran && ost.probeDir != probeUnset {
+			line("  order: probe direction %s", probeDirName(ost.probeDir))
 		}
 	}
 	switch t := o.(type) {
@@ -288,18 +377,21 @@ func (p *Plan) renderOp(sb *strings.Builder, o op, res *Result, depth int) {
 		card(t.est)
 	case *predFilterOp:
 		line("PredFilter (step %d)", t.meta.ord)
-		line("  predicate filter: [%s] (node at a time)", t.pred)
+		line("  predicate filter: [%s] (node at a time)", p.opDetail(t))
 		card(t.est)
+		order()
 	case *semiJoinOp:
 		line("SemiJoin (step %d)", t.meta.ord)
 		line("  operator: staircase semijoin over the %s axis (exists-semijoin rewrite, set-at-a-time)", t.inv)
-		line("  predicate filter: [%s] evaluated as fragment semijoin", t.pred)
+		line("  predicate filter: [%s] evaluated as fragment semijoin", p.opDetail(t))
 		card(t.est)
+		order()
 	case *valueSemiJoinOp:
 		line("ValueSemiJoin (step %d)", t.meta.ord)
 		line("  operator: value semijoin, fragment probes on the %s axis (value-semijoin rewrite, set-at-a-time)", t.pa)
-		line("  predicate filter: [%s] evaluated against the value fragment", t.pred)
+		line("  predicate filter: [%s] evaluated against the value fragment", p.opDetail(t))
 		card(t.est)
+		order()
 	case *posFilterOp:
 		label := fmt.Sprintf("step %d: %s", t.meta.ord, t.step)
 		if t.docNode {
@@ -308,11 +400,14 @@ func (p *Plan) renderOp(sb *strings.Builder, o op, res *Result, depth int) {
 		line("PosFilter (%s)", label)
 		line("  operator: per-context-node step with proximity positions (reverse axes count backwards)")
 		card(t.est)
+	case *emptyOp:
+		line("EmptyResult (provably empty: %s; downstream operators skipped)", t.reason)
+		card(estimates{})
 	case *fragScan:
 		p.renderFrag(sb, t, depth, line)
 		return // leaves carry their detail on one block, no inputs
 	case *valueScan:
-		line("ValueScan (fragment %s; %s)", t.predString(), p.valueSource(t))
+		line("ValueScan (fragment %s; %s)", p.opDetail(t), p.valueSource(t))
 		return
 	case *mergeOp:
 		line("Merge (union)")

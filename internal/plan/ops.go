@@ -26,6 +26,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"staircase/internal/axis"
@@ -99,6 +100,15 @@ type fragScan struct {
 	// hasSpan).
 	spanLo, spanHi int32
 	hasSpan        bool
+	// The fragment list is a pure function of the plan's document and
+	// options (both immutable after Compile), so it is resolved at most
+	// once per plan and shared read-only by every Run — repeated
+	// executions of a prepared plan stop re-probing the index maps (and
+	// NoIndex column rescans stop re-scanning).
+	once    sync.Once
+	list    []int32
+	indexed bool
+	ok      bool
 }
 
 func (o *fragScan) kids() []op { return nil }
@@ -107,13 +117,24 @@ func (o *fragScan) kids() []op { return nil }
 // link.
 func (o *fragScan) run(ec *execCtx) ([]int32, error) {
 	list, _, _ := o.resolve(ec)
-	return list, nil
+	// Callers own run results; the memoised fragment is shared.
+	return append([]int32(nil), list...), nil
 }
 
 // resolve returns the fragment node list, whether it came from the
-// shared index, and whether the test is servable at all.
+// shared index, and whether the test is servable at all. The returned
+// slice is shared across executions: callers must not mutate it.
 func (o *fragScan) resolve(ec *execCtx) (list []int32, indexed, ok bool) {
-	return pushdownList(ec.env.Doc, o.test, ec.opts)
+	return o.resolveWith(ec.env.Doc, ec.opts)
+}
+
+// resolveWith is resolve without an execution context (the greedy
+// ordering pass runs at compile time).
+func (o *fragScan) resolveWith(d *doc.Document, opts *Options) (list []int32, indexed, ok bool) {
+	o.once.Do(func() {
+		o.list, o.indexed, o.ok = pushdownList(d, o.test, opts)
+	})
+	return o.list, o.indexed, o.ok
 }
 
 // pushdownList resolves the fragment node list for a pushable node
@@ -240,8 +261,8 @@ func (o *joinOp) run(ec *execCtx) ([]int32, error) {
 	}
 	st := ec.step(o.meta, len(in))
 	ost := &ec.ops[o.id]
-	prev := ec.cur
-	ec.cur = ost
+	prev, prevFrag := ec.cur, ec.curFrag
+	ec.cur, ec.curFrag = ost, o.frag
 	skippedBefore := st.Core.Skipped
 	start := time.Now()
 	var out []int32
@@ -251,7 +272,7 @@ func (o *joinOp) run(ec *execCtx) ([]int32, error) {
 		out, err = ec.axisTest(o.stepAxis(), o.test, in, st)
 	}
 	st.Duration += time.Since(start)
-	ec.cur = prev
+	ec.cur, ec.curFrag = prev, prevFrag
 	if err != nil {
 		return nil, err
 	}
@@ -320,6 +341,13 @@ type predFilterOp struct {
 	pred xpath.Predicate
 	prog *predProg
 	est  estimates
+	// srcOrd is the predicate's source position within its step; the
+	// canonical plan string renders commutable filter chains in srcOrd
+	// order so ordering decisions never change Canon.
+	srcOrd int
+	// chain, on the bottom operator of a reordered filter chain, carries
+	// the adaptive-execution metadata (order.go); nil otherwise.
+	chain *chainMeta
 }
 
 func (o *predFilterOp) kids() []op { return []op{o.in} }
@@ -370,6 +398,9 @@ type semiJoinOp struct {
 	frag       *fragScan
 	variant    core.Variant
 	est        estimates
+	// srcOrd/chain: see predFilterOp.
+	srcOrd int
+	chain  *chainMeta
 }
 
 func (o *semiJoinOp) kids() []op { return []op{o.in, o.frag} }
@@ -390,8 +421,26 @@ func (o *semiJoinOp) run(ec *execCtx) ([]int32, error) {
 	ost.indexed = indexed
 	var out []int32
 	if len(in) > 0 && len(list) > 0 {
-		co := &core.Options{Variant: o.variant, Stats: &st.Core}
-		out, err = core.JoinNodeList(ec.env.Doc, o.inv, in, list, co)
+		if !ec.opts.NoReorder && probeFromInput(len(in), len(list)) {
+			// Input-probe direction: the input is far smaller than the
+			// fragment, so per-node binary probes (O(n log f)) beat the
+			// node-list join's linear sweep (O(n + f)).
+			ost.probeDir = probeInputSeek
+			pr := newSemiProbe(ec.env.Doc, o.existsAxis, list)
+			out = in[:0]
+			for _, v := range in {
+				if pr.admit(v) {
+					out = append(out, v)
+				}
+				if pr.exhaustedAfter(v) {
+					break
+				}
+			}
+		} else {
+			ost.probeDir = probeFragSweep
+			co := &core.Options{Variant: o.variant, Stats: &st.Core}
+			out, err = core.JoinNodeList(ec.env.Doc, o.inv, in, list, co)
+		}
 	}
 	st.Duration += time.Since(start)
 	if err != nil {
@@ -690,7 +739,7 @@ func (ec *execCtx) partitioning(a axis.Axis, test xpath.NodeTest, context []int3
 			ec.cur.workersOffered = workers
 		}
 		if opts.Pushdown != PushNever {
-			if list, indexed, ok := pushdownList(d, test, opts); ok {
+			if list, indexed, ok := ec.fragList(test); ok {
 				if ec.cur != nil {
 					ec.cur.fragSize = len(list)
 				}

@@ -1,0 +1,335 @@
+package plan
+
+// Unit tests for the greedy ordering pass (order.go), the execution-time
+// probe-direction decision (ops.go/value.go) and the adaptive chain
+// cursor (adapt.go): probe direction pinned on hand-built fragments,
+// empty-intermediate short-circuits terminating without downstream
+// work, greedy hoisting of exact-count semijoins, canon invariance
+// under ordering (the result-cache key), fragment-list memoization and
+// mid-flight re-planning.
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"staircase/internal/doc"
+)
+
+// TestProbeFromInput pins the execution-time probe-direction heuristic:
+// input-seek pays one binary search per input node, so it wins only
+// when the fragment outnumbers the input by a wide margin.
+func TestProbeFromInput(t *testing.T) {
+	cases := []struct {
+		in, frag int
+		want     bool
+	}{
+		{0, 100, false}, // no input: nothing to probe
+		{1, 15, false},
+		{1, 16, true},
+		{10, 159, false},
+		{10, 160, true},
+		{100, 100, false},
+	}
+	for _, c := range cases {
+		if got := probeFromInput(c.in, c.frag); got != c.want {
+			t.Errorf("probeFromInput(%d, %d) = %v, want %v", c.in, c.frag, got, c.want)
+		}
+	}
+}
+
+// findSemiJoin returns the plan's single exists-semijoin operator.
+func findSemiJoin(t *testing.T, p *Plan) *semiJoinOp {
+	t.Helper()
+	for _, o := range p.ops {
+		if sj, ok := o.(*semiJoinOp); ok {
+			return sj
+		}
+	}
+	t.Fatal("plan has no semiJoinOp")
+	return nil
+}
+
+// TestSemiJoinProbeDirection pins the direction the batch executor
+// actually takes: a fragment that dwarfs the input is probed per input
+// node (input-seek); comparable sizes sweep the fragment. NoReorder
+// restores the unconditional sweep.
+func TestSemiJoinProbeDirection(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<r><x/>")
+	for i := 0; i < 40; i++ {
+		sb.WriteString("<f/>")
+	}
+	sb.WriteString("</r>")
+	d := shredString(t, sb.String())
+	env := NewEnv(d)
+
+	// 1 input node vs a 40-node fragment: input-seek.
+	p := compileQuery(t, env, "//x[following::f]", nil)
+	sj := findSemiJoin(t, p)
+	res, err := p.RunRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 1 {
+		t.Fatalf("nodes = %v", res.Nodes)
+	}
+	if got := res.ops[sj.opID()].probeDir; got != probeInputSeek {
+		t.Errorf("skewed semijoin probeDir = %d, want input-seek", got)
+	}
+
+	// NoReorder pins the legacy fragment sweep in the same situation.
+	p = compileQuery(t, env, "//x[following::f]", &Options{NoReorder: true})
+	sj = findSemiJoin(t, p)
+	res, err = p.RunRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ops[sj.opID()].probeDir; got != probeFragSweep {
+		t.Errorf("NoReorder semijoin probeDir = %d, want fragment-sweep", got)
+	}
+
+	// Comparable cardinalities on the fixture: fragment sweep.
+	env = NewEnv(fixture(t))
+	p = compileQuery(t, env, "//person[descendant::name]", nil)
+	sj = findSemiJoin(t, p)
+	res, err = p.RunRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ops[sj.opID()].probeDir; got != probeFragSweep {
+		t.Errorf("balanced semijoin probeDir = %d, want fragment-sweep", got)
+	}
+}
+
+// TestEmptyIntermediateShortCircuit: a zero-cardinality fragment on the
+// branch spine compiles to an EmptyResult wrapper; execution emits
+// nothing, runs no downstream operator and does no staircase work.
+func TestEmptyIntermediateShortCircuit(t *testing.T) {
+	env := NewEnv(fixture(t))
+	p := compileQuery(t, env, "//nosuch/ancestor::person", nil)
+	e, ok := p.root.(*emptyOp)
+	if !ok {
+		t.Fatalf("root is %T, want *emptyOp", p.root)
+	}
+	if e.reason == "" {
+		t.Error("emptyOp has no reason")
+	}
+	if len(p.orderNotes) == 0 {
+		t.Error("empty short-circuit not recorded in order notes")
+	}
+	res, err := p.RunRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 0 {
+		t.Fatalf("nodes = %v, want empty", res.Nodes)
+	}
+	// actual=0 on the wrapper, no execution below it.
+	if ost := res.ops[e.opID()]; !ost.ran || ost.in != 0 || ost.out != 0 {
+		t.Errorf("emptyOp stat = %+v, want ran with 0 -> 0", ost)
+	}
+	var walk func(o op)
+	walk = func(o op) {
+		if ost := res.ops[o.opID()]; ost.ran {
+			t.Errorf("%T below EmptyResult ran (%d -> %d)", o, ost.in, ost.out)
+		}
+		for _, k := range o.kids() {
+			walk(k)
+		}
+	}
+	walk(e.inner)
+	for i, st := range res.Steps {
+		if st.Core.Scanned != 0 || st.Core.Copied != 0 {
+			t.Errorf("step %d did staircase work: %+v", i, st.Core)
+		}
+	}
+	// The streaming executor short-circuits identically.
+	lr, err := p.RunLimitRoot(context.Background(), math.MaxInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Nodes) != 0 {
+		t.Fatalf("cursor nodes = %v, want empty", lr.Nodes)
+	}
+}
+
+// TestGreedyHoistOrder: with exact fragment counts available, the
+// smaller-fragment semijoin evaluates first regardless of source
+// order, and the result is unchanged.
+func TestGreedyHoistOrder(t *testing.T) {
+	env := NewEnv(fixture(t))
+	q := "//site[descendant::person][descendant::education]"
+	before := Reorders()
+	p := compileQuery(t, env, q, nil)
+	if Reorders() == before {
+		t.Error("plan_reorders_total did not move")
+	}
+	if len(p.orderNotes) == 0 {
+		t.Fatal("no order notes on a reordered plan")
+	}
+	if !strings.Contains(p.orderNotes[0], "[descendant::education] [descendant::person]") {
+		t.Errorf("greedy order note = %q, want education hoisted first", p.orderNotes[0])
+	}
+	if len(p.opOrder) == 0 {
+		t.Error("no per-operator order annotations")
+	}
+	got, err := p.RunRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run(t, env, q, &Options{NoReorder: true})
+	if !equal32(got.Nodes, want) {
+		t.Fatalf("reordered %v != source order %v", got.Nodes, want)
+	}
+}
+
+// TestCanonUnchangedByOrdering is the cache-key invariance check:
+// ordering decisions are execution attributes, so the canonical plan
+// string — the result-cache and shared-scan key — must be identical
+// with and without the greedy pass.
+func TestCanonUnchangedByOrdering(t *testing.T) {
+	env := NewEnv(fixture(t))
+	for _, q := range []string{
+		"//site[descendant::person][descendant::education]",
+		"//person[profile][name = 'Carol']",
+		"//open_auction[current > 10][descendant::bidder]",
+		"//nosuch/ancestor::person",
+		"//person[profile][name = 'Carol'] | //bidder[descendant::increase]",
+	} {
+		ordered := compileQuery(t, env, q, nil)
+		plain := compileQuery(t, env, q, &Options{NoReorder: true})
+		if ordered.Canon() != plain.Canon() {
+			t.Errorf("canon differs under ordering for %s:\n ordered %s\n   plain %s",
+				q, ordered.Canon(), plain.Canon())
+		}
+	}
+}
+
+// TestFragScanMemoized: the fragment list of a prepared plan is
+// resolved once and shared by subsequent executions.
+func TestFragScanMemoized(t *testing.T) {
+	env := NewEnv(fixture(t))
+	p := compileQuery(t, env, "/descendant::person", nil)
+	var frag *fragScan
+	for _, o := range p.ops {
+		if f, ok := o.(*fragScan); ok {
+			frag = f
+		}
+	}
+	if frag == nil {
+		t.Fatal("plan has no fragScan")
+	}
+	l1, _, ok1 := frag.resolveWith(env.Doc, &p.opts)
+	l2, _, ok2 := frag.resolveWith(env.Doc, &p.opts)
+	if !ok1 || !ok2 || len(l1) == 0 {
+		t.Fatalf("resolve failed: %v %v %v", l1, ok1, ok2)
+	}
+	if &l1[0] != &l2[0] {
+		t.Error("fragment list resolved twice (not memoized)")
+	}
+	// Repeated executions stay correct over the shared list.
+	a, err := p.RunRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.RunRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal32(a.Nodes, b.Nodes) {
+		t.Fatalf("repeated runs differ: %v vs %v", a.Nodes, b.Nodes)
+	}
+}
+
+// TestChainCursorMatchesBatch: reordered multi-predicate steps stream
+// through the adaptive chain cursor; the drained sequence must be
+// byte-identical to batch execution and to the NoReorder plan.
+func TestChainCursorMatchesBatch(t *testing.T) {
+	env := NewEnv(fixture(t))
+	for _, q := range []string{
+		"//site[descendant::person][descendant::education]",
+		"//person[profile][name = 'Carol']",
+		"//open_auction[descendant::bidder][current > 10]",
+		"//person[name][profile][descendant::education]",
+	} {
+		batch := run(t, env, q, nil)
+		plain := run(t, env, q, &Options{NoReorder: true})
+		if !equal32(batch, plain) {
+			t.Fatalf("%s: reordered batch %v != NoReorder %v", q, batch, plain)
+		}
+		p := compileQuery(t, env, q, nil)
+		lr, err := p.RunLimitRoot(context.Background(), math.MaxInt)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !equal32(lr.Nodes, batch) {
+			t.Fatalf("%s: chain cursor %v != batch %v", q, lr.Nodes, batch)
+		}
+	}
+}
+
+// TestAdaptiveReplanFires: when a filter's observed selectivity
+// diverges from its estimate mid-flight, the chain cursor re-sorts its
+// stages, counts the switch and notes it for EXPLAIN. The estimate
+// halves its input, so a stage passing everything followed by a stage
+// passing nothing diverges after the first batch.
+func TestAdaptiveReplanFires(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 600; i++ {
+		sb.WriteString("<item><b>t</b></item>")
+	}
+	sb.WriteString("</r>")
+	env := NewEnv(shredString(t, sb.String()))
+	q := "//item[child::b][child::c]"
+	p := compileQuery(t, env, q, nil)
+	before := AdaptiveReplans()
+	lr, err := p.RunLimitRoot(context.Background(), math.MaxInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Nodes) != 0 {
+		t.Fatalf("nodes = %d, want 0", len(lr.Nodes))
+	}
+	if AdaptiveReplans() == before {
+		t.Error("adaptive_replans_total did not move")
+	}
+	if len(lr.replans) == 0 {
+		t.Error("no re-plan note on the execution result")
+	} else if !strings.Contains(lr.replans[0], "adaptive re-plan") {
+		t.Errorf("re-plan note = %q", lr.replans[0])
+	}
+	// The batch executor (static order) and the adapted cursor agree.
+	br, err := p.RunRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal32(br.Nodes, lr.Nodes) {
+		t.Fatalf("batch %v != adapted cursor %v", br.Nodes, lr.Nodes)
+	}
+}
+
+// shredString builds a document from literal XML.
+func shredString(t testing.TB, s string) *doc.Document {
+	t.Helper()
+	d, err := doc.ShredString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// equal32 compares two node sequences.
+func equal32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

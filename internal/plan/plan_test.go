@@ -189,7 +189,7 @@ func TestPlanExplainSurfaces(t *testing.T) {
 	text := p.ExplainText(res)
 	for _, want := range []string{
 		"StaircaseJoin", "step 1", "step 2", "cardinality:", "pruning:",
-		"staircase join", "no duplicates, document order", "-> 2 result",
+		"staircase join", "no duplicates, document order", "est=2 actual=2 result",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("explain text missing %q:\n%s", want, text)

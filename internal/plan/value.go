@@ -80,8 +80,13 @@ func (o *valueScan) open(ec *execCtx) (cursor, error) {
 // back to per-node evaluation. The returned slice is shared across
 // executions: callers must not mutate it.
 func (o *valueScan) resolve(ec *execCtx) (list []int32, ok bool) {
-	d := ec.env.Doc
-	if ec.opts.NoValueIndex || !d.HasValues() {
+	return o.resolveWith(ec.env.Doc, ec.opts)
+}
+
+// resolveWith is resolve without an execution context (the greedy
+// ordering pass resolves resident fragments at compile time).
+func (o *valueScan) resolveWith(d *doc.Document, opts *Options) (list []int32, ok bool) {
+	if opts.NoValueIndex || !d.HasValues() {
 		return nil, false
 	}
 	ix := d.ValueIndex()
@@ -184,6 +189,9 @@ type valueSemiJoinOp struct {
 	// documents).
 	prog *predProg
 	est  estimates
+	// srcOrd/chain: see predFilterOp.
+	srcOrd int
+	chain  *chainMeta
 }
 
 func (o *valueSemiJoinOp) kids() []op { return []op{o.in, o.scan} }
@@ -202,24 +210,37 @@ func (o *valueSemiJoinOp) run(ec *execCtx) ([]int32, error) {
 	list, indexed := o.scan.resolve(ec)
 	ost.indexed = indexed
 	d := ec.env.Doc
-	out := in[:0]
-	for i, v := range in {
-		if i&1023 == 0 {
-			if err := ec.cancelled(); err != nil {
-				return nil, err
-			}
-		}
-		var ok bool
+	var out []int32
+	if indexed && !ec.opts.NoReorder && len(list) > 0 && probeFromInput(len(list), len(in)) {
+		// Fragment-side direction: the fragment is far smaller than the
+		// input, so derive the certified context nodes from the fragment
+		// (the inverse image of valueQualifies) and intersect with the
+		// input instead of probing every input node.
+		ost.probeDir = probeFragSweep
+		out = intersectSorted(in, valueCandidates(d, o.pa, list))
+	} else {
 		if indexed {
-			ok = valueQualifies(d, o.pa, list, v)
-		} else {
-			ok, err = o.prog.holds(ec, v)
-			if err != nil {
-				return nil, err
-			}
+			ost.probeDir = probeInputSeek
 		}
-		if ok {
-			out = append(out, v)
+		out = in[:0]
+		for i, v := range in {
+			if i&1023 == 0 {
+				if err := ec.cancelled(); err != nil {
+					return nil, err
+				}
+			}
+			var ok bool
+			if indexed {
+				ok = valueQualifies(d, o.pa, list, v)
+			} else {
+				ok, err = o.prog.holds(ec, v)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if ok {
+				out = append(out, v)
+			}
 		}
 	}
 	st.Duration += time.Since(start)
@@ -256,7 +277,74 @@ func valueQualifies(d *doc.Document, pa axis.Axis, list []int32, c int32) bool {
 	}
 }
 
+// valueCandidates derives, from the fragment nodes, every context node
+// the predicate axis could certify — the inverse image of
+// valueQualifies. Self: the fragment node itself; child/attribute: its
+// parent; descendant: its proper ancestors (the parent chain);
+// descendant-or-self: itself plus the chain.
+func valueCandidates(d *doc.Document, pa axis.Axis, list []int32) []int32 {
+	var cands []int32
+	for _, f := range list {
+		switch pa {
+		case axis.Self:
+			cands = append(cands, f)
+		case axis.Descendant:
+			for p := d.Parent(f); p != doc.NoParent; p = d.Parent(p) {
+				cands = append(cands, p)
+			}
+		case axis.DescendantOrSelf:
+			cands = append(cands, f)
+			for p := d.Parent(f); p != doc.NoParent; p = d.Parent(p) {
+				cands = append(cands, p)
+			}
+		default: // axis.Child, axis.Attribute
+			if p := d.Parent(f); p != doc.NoParent {
+				cands = append(cands, p)
+			}
+		}
+	}
+	return sortDedup(cands)
+}
+
+// intersectSorted intersects two strictly increasing sequences,
+// writing the result into a's prefix (a is caller-owned).
+func intersectSorted(a, b []int32) []int32 {
+	out := a[:0]
+	if len(b)*16 < len(a) {
+		// b is tiny: binary-probe a for each b member. Writes trail the
+		// read position (the k-th match sits at index >= k), so the
+		// in-place prefix never clobbers unread entries.
+		pos := 0
+		for _, v := range b {
+			i := pos + searchNodes(a[pos:], v)
+			if i < len(a) && a[i] == v {
+				out = append(out, v)
+				i++
+			}
+			pos = i
+		}
+		return out
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
 func (o *valueSemiJoinOp) open(ec *execCtx) (cursor, error) {
+	if o.chain != nil {
+		return openChain(ec, o.chain)
+	}
 	in, err := o.in.open(ec)
 	if err != nil {
 		return nil, err
@@ -272,6 +360,7 @@ func (o *valueSemiJoinOp) open(ec *execCtx) (cursor, error) {
 		c.list = list
 		ost.indexed = true
 		ost.fragSize = len(list)
+		ost.probeDir = probeInputSeek // streaming is point-probe by nature
 		if len(list) > 0 {
 			c.spanHi = list[len(list)-1]
 			if o.pa == axis.Self {

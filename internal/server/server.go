@@ -75,6 +75,7 @@ import (
 	"staircase/internal/catalog"
 	"staircase/internal/engine"
 	"staircase/internal/fault"
+	"staircase/internal/plan"
 	"staircase/internal/share"
 )
 
@@ -101,6 +102,11 @@ type Config struct {
 	// (ablation knob, xpathd -value-index=false). Individual requests
 	// may also set it.
 	NoValueIndex bool
+	// NoReorder disables the planner's greedy filter ordering,
+	// empty-fragment short-circuit and mid-flight adaptive re-planning
+	// by default: predicates evaluate in source order (ablation knob,
+	// xpathd -no-reorder). Individual requests may also set it.
+	NoReorder bool
 	// MaxBatch caps the number of queries in one POST /query request;
 	// <= 0 defaults to 256.
 	MaxBatch int
@@ -333,6 +339,10 @@ type QueryOptions struct {
 	// (per-node string comparison; results are identical — ablation
 	// knob).
 	NoValueIndex bool `json:"noValueIndex,omitempty"`
+	// NoReorder evaluates predicates strictly in source order, without
+	// greedy ordering or adaptive re-planning (results are identical —
+	// ablation knob).
+	NoReorder bool `json:"noReorder,omitempty"`
 }
 
 // QueryRequest is the POST /query body. Query and Queries may be
@@ -412,6 +422,7 @@ func (s *Server) engineOptions(o *QueryOptions) (*engine.Options, error) {
 		MorselWorkers: s.cfg.MorselWorkers,
 		NoIndex:       s.cfg.NoIndex,
 		NoValueIndex:  s.cfg.NoValueIndex,
+		NoReorder:     s.cfg.NoReorder,
 	}
 	if o != nil {
 		if o.NoIndex {
@@ -419,6 +430,9 @@ func (s *Server) engineOptions(o *QueryOptions) (*engine.Options, error) {
 		}
 		if o.NoValueIndex {
 			opts.NoValueIndex = true
+		}
+		if o.NoReorder {
+			opts.NoReorder = true
 		}
 		strat, ok := strategies[o.Strategy]
 		if !ok {
@@ -518,6 +532,9 @@ func preparedKey(docName string, gen uint64, opts *engine.Options, query string)
 	}
 	if opts.NoValueIndex {
 		sb.WriteString(",novalueindex")
+	}
+	if opts.NoReorder {
+		sb.WriteString(",noreorder")
 	}
 	sb.WriteByte(0)
 	sb.WriteString(query)
@@ -1147,6 +1164,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		noValueIndex = b
 	}
+	noReorder := false
+	if v := q.Get("noReorder"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad noReorder %q", v)
+			return
+		}
+		noReorder = b
+	}
 	opts, err := s.engineOptions(&QueryOptions{
 		Strategy:      q.Get("strategy"),
 		Pushdown:      q.Get("pushdown"),
@@ -1154,6 +1180,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		MorselWorkers: morsels,
 		NoIndex:       noIndex,
 		NoValueIndex:  noValueIndex,
+		NoReorder:     noReorder,
 	})
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
@@ -1262,6 +1289,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit("shed_queries_total", s.pool.shedCount())
 	emit("timeout_queries_total", s.timeouts.Load())
 	emit("panics_recovered_total", fault.Recovered())
+	emit("plan_reorders_total", plan.Reorders())
+	emit("adaptive_replans_total", plan.AdaptiveReplans())
 	emit("workers_in_use", int64(s.pool.inUse()))
 	emit("workers_capacity", int64(s.pool.cap))
 	emit("worker_queue_depth", int64(s.pool.queueDepth()))

@@ -101,6 +101,10 @@ type ServerConfig struct {
 	// (per-node predicate re-evaluation; results identical — ablation
 	// knob).
 	NoValueIndex bool
+	// NoReorder disables greedy filter ordering and adaptive
+	// re-planning by default (source-order predicate evaluation;
+	// results identical — ablation knob).
+	NoReorder bool
 	// MaxBatch caps the number of queries in one POST /query request;
 	// <= 0 defaults to 256.
 	MaxBatch int
@@ -147,6 +151,7 @@ func NewServer(cfg ServerConfig) *Server {
 		DefaultParallelism: cfg.DefaultParallelism,
 		NoIndex:            cfg.NoIndex,
 		NoValueIndex:       cfg.NoValueIndex,
+		NoReorder:          cfg.NoReorder,
 		MaxBatch:           cfg.MaxBatch,
 		ShareScans:         cfg.ShareScans,
 		MorselWorkers:      cfg.MorselWorkers,
